@@ -1,0 +1,83 @@
+"""Shared harness for the Chapter 5 barrier measurement/prediction sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.barriers import (
+    dissemination_barrier,
+    linear_barrier,
+    measure_barrier,
+    predict_barrier_cost,
+    tree_barrier,
+)
+from repro.bench import benchmark_comm
+
+FAMILIES = {
+    "D": dissemination_barrier,
+    "T": tree_barrier,
+    "L": linear_barrier,
+}
+
+
+@dataclass
+class SweepResult:
+    process_counts: list[int]
+    measured: dict[str, list[float]]  # family -> series
+    predicted: dict[str, list[float]]
+
+    def absolute_error(self, family: str) -> np.ndarray:
+        return np.asarray(self.predicted[family]) - np.asarray(
+            self.measured[family]
+        )
+
+    def relative_error(self, family: str) -> np.ndarray:
+        return self.absolute_error(family) / np.asarray(self.measured[family])
+
+
+def run_sweep(
+    machine,
+    process_counts,
+    runs: int = 16,
+    comm_samples: int = 5,
+    comm_sizes=tuple(2**k for k in range(0, 17, 4)),
+) -> SweepResult:
+    """Measure and predict all three barrier families per process count,
+    benchmarking the platform independently for each count (§5.6.6)."""
+    measured = {k: [] for k in FAMILIES}
+    predicted = {k: [] for k in FAMILIES}
+    counts = list(process_counts)
+    for nprocs in counts:
+        placement = machine.placement(nprocs)
+        report = benchmark_comm(
+            machine, placement, samples=comm_samples, sizes=comm_sizes
+        )
+        for key, factory in FAMILIES.items():
+            pattern = factory(nprocs)
+            timing = measure_barrier(machine, pattern, placement, runs=runs)
+            measured[key].append(timing.mean_worst)
+            predicted[key].append(predict_barrier_cost(pattern, report.params))
+    return SweepResult(
+        process_counts=counts, measured=measured, predicted=predicted
+    )
+
+
+def sweep_rows(result: SweepResult) -> list[list]:
+    rows = []
+    for idx, p in enumerate(result.process_counts):
+        row = [p]
+        for key in FAMILIES:
+            row.append(result.measured[key][idx] * 1e6)
+        for key in FAMILIES:
+            row.append(result.predicted[key][idx] * 1e6)
+        rows.append(row)
+    return rows
+
+
+SWEEP_HEADERS = [
+    "P",
+    "D meas [us]", "T meas [us]", "L meas [us]",
+    "D pred [us]", "T pred [us]", "L pred [us]",
+]

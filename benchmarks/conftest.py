@@ -1,0 +1,66 @@
+"""Shared fixtures for the table/figure benchmark harness.
+
+Every bench regenerates one thesis artifact: it runs the experiment on the
+simulated platform, prints the artifact's rows/series (bypassing pytest's
+capture so ``pytest benchmarks/ --benchmark-only`` shows them), asserts the
+shape claims recorded in EXPERIMENTS.md, and times a representative piece
+of the pipeline through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+# Benchmarks trade sampling depth for wall time; these knobs keep every
+# module in the tens-of-seconds range while preserving the shapes.
+COMM_SIZES = tuple(2**k for k in range(0, 17, 4))
+COMM_SAMPLES = 7
+BARRIER_RUNS = 16
+
+
+@pytest.fixture(scope="session")
+def xeon_machine():
+    """The 8x2x4 Xeon gigabit cluster (Chapters 3-8 main platform)."""
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=2012
+    )
+
+
+@pytest.fixture(scope="session")
+def opteron_machine():
+    """The 12x2x6 Opteron gigabit cluster (§5.6.6, Figs. 5.10-5.13)."""
+    return SimMachine(
+        presets.opteron_12x2x6_topology(), presets.opteron_12x2x6_params(),
+        seed=2012,
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster_10x2x6_machine():
+    """The 10-node 2x6 configuration of Table 7.2."""
+    return SimMachine(
+        presets.cluster_10x2x6_topology(), presets.opteron_12x2x6_params(),
+        seed=2012,
+    )
+
+
+@pytest.fixture(scope="session")
+def athlon_machine():
+    """The Athlon X2 workstation of the §4.2 BLAS sweeps."""
+    return SimMachine(
+        presets.athlon_x2_topology(), presets.athlon_x2_params(), seed=2012
+    )
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print experiment output past pytest's capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

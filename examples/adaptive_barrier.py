@@ -1,0 +1,67 @@
+"""Adaptive barrier synthesis: the Chapter 7 pipeline end to end.
+
+Benchmarks a 60-process configuration of the simulated Xeon cluster,
+clusters the measured latency matrix (SSS), greedily builds a hierarchical
+hybrid barrier from the model's predictions, verifies it with the
+knowledge-matrix test, and measures it against the flat system defaults.
+
+Run:  python examples/adaptive_barrier.py
+"""
+
+from repro.adapt import clustering_table, flat_defaults, greedy_adapt, sss_cluster
+from repro.barriers import is_correct_barrier, measure_barrier
+from repro.bench import benchmark_comm
+from repro.cluster import presets
+from repro.machine import SimMachine
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    machine = SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=7
+    )
+    nprocs = 60
+    placement = machine.placement(nprocs)
+    print(f"{machine.describe()}; P = {nprocs} (round-robin placement)")
+
+    # Step 1: profile the platform (no topology knowledge used afterwards).
+    report = benchmark_comm(machine, placement, samples=9)
+
+    # Step 2: subset-size selection from latencies alone.
+    levels = sss_cluster(report.params.latency, gap_ratio=1.25)
+    print("\nSSS clustering of the benchmarked latency matrix:")
+    print(format_table(
+        ["level", "latency bound [s]", "subsets", "sizes"],
+        clustering_table(levels),
+    ))
+
+    # Step 3: greedy, model-driven construction.
+    adapted = greedy_adapt(report.params)
+    print(f"\ngreedy choice: gather={adapted.local_kinds}, "
+          f"top={adapted.top_kind}")
+    print(f"pattern: {adapted.pattern.name}, "
+          f"{adapted.pattern.num_stages} stages, "
+          f"{adapted.pattern.total_messages} messages")
+    print(f"knowledge-matrix correctness: "
+          f"{is_correct_barrier(adapted.pattern)}")
+
+    # Step 4: measure against the defaults.
+    rows = [[
+        adapted.pattern.name,
+        adapted.predicted_cost * 1e6,
+        measure_barrier(machine, adapted.pattern, placement,
+                        runs=32).mean_worst * 1e6,
+    ]]
+    for name, pattern in flat_defaults(nprocs).items():
+        rows.append([
+            name,
+            adapted.default_predictions[name] * 1e6,
+            measure_barrier(machine, pattern, placement,
+                            runs=32).mean_worst * 1e6,
+        ])
+    print("\nadapted barrier vs system defaults:")
+    print(format_table(["pattern", "predicted [us]", "measured [us]"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Performance Modeling of Heterogeneous Systems*.
+
+A bottom-up performance-modeling framework for heterogeneous parallel
+systems in the bulk-synchronous tradition (Meyer, NTNU): linear subsystem
+models composed into matrix-form system models, a barrier-synchronisation
+cost model driven by benchmarked pairwise latencies, a BSPlib runtime with
+early-commit overlap semantics, and model-driven adaptation case studies —
+all running on a simulated SMP-cluster substrate.
+
+Top-level subpackages:
+
+- ``repro.cluster``  — topology, placement, ground truth, noise, presets
+- ``repro.machine``  — the SimMachine facade, compute model, virtual clocks
+- ``repro.kernels``  — numerical kernels (DAXPY, stencil, L1 BLAS)
+- ``repro.bench``    — benchmark statistics and platform profiling
+- ``repro.core``     — classic BSP and matrix modeling framework
+- ``repro.simmpi``   — discrete-event message engine
+- ``repro.barriers`` — barrier patterns, correctness, simulation, cost model
+- ``repro.bsplib``   — the BSPlib runtime (20 primitives) and sync model
+- ``repro.adapt``    — SSS clustering, greedy and on-line barrier adaptation
+- ``repro.stencil``  — the Chapter 8 Laplacian stencil case study
+- ``repro.spinlocks``— the §5.1 shared-memory spinlock study
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster",
+    "machine",
+    "kernels",
+    "bench",
+    "core",
+    "simmpi",
+    "barriers",
+    "bsplib",
+    "adapt",
+    "stencil",
+    "spinlocks",
+    "util",
+]

@@ -1,0 +1,40 @@
+"""Chapter 7 adaptation: SSS clustering and model-driven barrier synthesis."""
+
+from repro.adapt.sss import (
+    ClusterLevel,
+    latency_strata,
+    sss_cluster,
+    nested_hierarchy,
+    clustering_table,
+)
+from repro.adapt.hybrid import (
+    LOCAL_KINDS,
+    TOP_KINDS,
+    hierarchical_barrier,
+    flat_defaults,
+)
+from repro.adapt.greedy import AdaptedBarrier, greedy_adapt
+from repro.adapt.online import (
+    AdaptationEvent,
+    OnlineBarrierAdapter,
+    degrade_profile,
+    merge_profiles,
+)
+
+__all__ = [
+    "AdaptationEvent",
+    "OnlineBarrierAdapter",
+    "degrade_profile",
+    "merge_profiles",
+    "ClusterLevel",
+    "latency_strata",
+    "sss_cluster",
+    "nested_hierarchy",
+    "clustering_table",
+    "LOCAL_KINDS",
+    "TOP_KINDS",
+    "hierarchical_barrier",
+    "flat_defaults",
+    "AdaptedBarrier",
+    "greedy_adapt",
+]

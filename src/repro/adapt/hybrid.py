@@ -1,0 +1,144 @@
+"""Hierarchically clustered hybrid barrier patterns (§7.1, Fig. 7.2).
+
+A hybrid barrier runs a *gather* phase up the subset hierarchy (members
+signal their subset representative, level by level), one synchronisation
+pattern among the top-level representatives, and a *release* phase back
+down (the transposed gather, reversed — the §5.5 property of hierarchical
+barriers).
+
+Gather/release sub-patterns within a subset can be ``linear`` (all members
+signal the representative at once) or ``tree`` with configurable arity;
+the top-level exchange may additionally be ``dissemination``.  Every
+generated pattern is a plain :class:`BarrierPattern`, so the Chapter 5
+machinery — knowledge-matrix correctness, cost prediction, event
+simulation — applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapt.sss import ClusterLevel
+from repro.barriers.correctness import assert_correct
+from repro.barriers.patterns import (
+    BarrierPattern,
+    dissemination_barrier,
+    from_stages,
+    linear_barrier,
+    tree_barrier,
+)
+from repro.util.validation import require_int
+
+LOCAL_KINDS = ("linear", "tree2", "tree4")
+TOP_KINDS = ("linear", "tree2", "tree4", "dissemination")
+
+
+def _subpattern(kind: str, count: int) -> BarrierPattern:
+    """A full barrier pattern over ``count`` local indices."""
+    if kind == "linear":
+        return linear_barrier(count)
+    if kind.startswith("tree"):
+        return tree_barrier(count, arity=int(kind[4:]))
+    if kind == "dissemination":
+        return dissemination_barrier(count)
+    raise ValueError(f"unknown pattern kind {kind!r}")
+
+
+def _embed(stage: np.ndarray, members: list[int], nprocs: int) -> np.ndarray:
+    """Lift a local stage matrix over ``members`` into the full P space."""
+    out = np.zeros((nprocs, nprocs), dtype=bool)
+    idx = np.asarray(members)
+    srcs, dsts = np.nonzero(stage)
+    out[idx[srcs], idx[dsts]] = True
+    return out
+
+
+def _merge_parallel(stage_lists: list[list[np.ndarray]], nprocs: int) -> list[np.ndarray]:
+    """Overlay the stage sequences of independent subsets, stage-aligned."""
+    if not stage_lists:
+        return []
+    depth = max(len(stages) for stages in stage_lists)
+    merged = [np.zeros((nprocs, nprocs), dtype=bool) for _ in range(depth)]
+    for stages in stage_lists:
+        for k, stage in enumerate(stages):
+            merged[k] |= stage
+    return [s for s in merged if s.any()]
+
+
+def _gather_stages(kind: str, members: list[int], nprocs: int) -> list[np.ndarray]:
+    """Arrival-phase stages funnelling ``members`` into ``members[0]``.
+
+    Uses the first half of a hierarchical pattern's stages (arrival part)
+    for linear/tree kinds.
+    """
+    if len(members) < 2:
+        return []
+    pattern = _subpattern(kind, len(members))
+    half = pattern.num_stages // 2
+    return [_embed(s, members, nprocs) for s in pattern.stages[:half]]
+
+
+def hierarchical_barrier(
+    nprocs: int,
+    levels: list[ClusterLevel],
+    local_kind: str | list[str] = "tree2",
+    top_kind: str = "dissemination",
+    name: str | None = None,
+    validate: bool = True,
+) -> BarrierPattern:
+    """Build a hybrid barrier from an SSS hierarchy (Fig. 7.2).
+
+    ``levels`` are fine-to-coarse cluster levels (the SSS output,
+    *excluding* any trivial all-singletons level).  ``local_kind`` sets the
+    gather pattern per level (a single kind or one per level); ``top_kind``
+    synchronises the coarsest level's subset representatives.
+    """
+    nprocs = require_int(nprocs, "nprocs")
+    if nprocs == 1:
+        return BarrierPattern(name or "hybrid", 1, ())
+    if not levels:
+        raise ValueError("need at least one cluster level")
+    kinds = (
+        [local_kind] * len(levels) if isinstance(local_kind, str) else list(local_kind)
+    )
+    if len(kinds) != len(levels):
+        raise ValueError("one local kind per level is required")
+
+    gather: list[np.ndarray] = []
+    # Representatives active at the current level (initially every rank).
+    active: dict[int, int] = {r: r for r in range(nprocs)}
+    for level, kind in zip(levels, kinds):
+        stage_lists = []
+        new_active: dict[int, int] = {}
+        for subset in level.subsets:
+            reps = sorted({active[r] for r in subset if r in active})
+            if not reps:
+                raise ValueError("cluster level does not cover all ranks")
+            stage_lists.append(_gather_stages(kind, reps, nprocs))
+            new_active[subset[0]] = reps[0]
+        gather.extend(_merge_parallel(stage_lists, nprocs))
+        active = new_active
+
+    tops = sorted(active.values())
+    top_stages = []
+    if len(tops) > 1:
+        pattern = _subpattern(top_kind, len(tops))
+        top_stages = [_embed(s, tops, nprocs) for s in pattern.stages]
+
+    release = [stage.T.copy() for stage in reversed(gather)]
+    stages = gather + top_stages + release
+    label = name or f"hybrid-{'/'.join(kinds)}-{top_kind}"
+    pattern = from_stages(label, stages)
+    if validate:
+        assert_correct(pattern)
+    return pattern
+
+
+def flat_defaults(nprocs: int) -> dict[str, BarrierPattern]:
+    """The system-default patterns hybrid barriers are compared against
+    (Figs. 7.4-7.5)."""
+    return {
+        "linear": linear_barrier(nprocs),
+        "tree": tree_barrier(nprocs),
+        "dissemination": dissemination_barrier(nprocs),
+    }

@@ -1,0 +1,85 @@
+"""Textbook asymptotic barrier analysis (§5.4).
+
+Closed-form uniform-cost sums for the three running examples, plus a
+generic per-stage summation that splits message costs into local and remote
+classes — the refinement the thesis sketches before replacing the whole
+approach with the matrix representation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.barriers.patterns import BarrierPattern
+from repro.cluster.topology import Placement, Relation
+from repro.util.validation import require_int, require_nonnegative
+
+
+def linear_barrier_cost(nprocs: int, c: float) -> float:
+    """T = 2cP for the 2-stage linear barrier under uniform message cost."""
+    p = require_int(nprocs, "nprocs")
+    require_nonnegative(c, "c")
+    return 2.0 * c * p
+
+
+def tree_barrier_cost(nprocs: int, c: float) -> float:
+    """T = 2c log2 P for the binary combining tree."""
+    p = require_int(nprocs, "nprocs")
+    require_nonnegative(c, "c")
+    if p == 1:
+        return 0.0
+    return 2.0 * c * math.log2(p)
+
+
+def dissemination_barrier_cost(nprocs: int, c: float) -> float:
+    """T = c log2 P for the dissemination barrier."""
+    p = require_int(nprocs, "nprocs")
+    require_nonnegative(c, "c")
+    if p == 1:
+        return 0.0
+    return c * math.log2(p)
+
+
+def stage_wise_cost(pattern: BarrierPattern, c: float) -> float:
+    """Generic uniform-cost sum: each stage costs one message time (signals
+    within a stage are concurrent), i.e. ``c * num_stages`` for non-empty
+    stages."""
+    require_nonnegative(c, "c")
+    return c * sum(1 for stage in pattern.stages if stage.any())
+
+
+def local_remote_split(
+    pattern: BarrierPattern, placement: Placement
+) -> list[dict[str, int]]:
+    """Per-stage message counts split into locality classes — the §5.4
+    refinement showing dissemination's stages are dominated by remote
+    traffic on hierarchical interconnects."""
+    rel = placement.relation_matrix()
+    out = []
+    for stage in pattern.stages:
+        counts = {"local": 0, "remote": 0}
+        srcs, dsts = np.nonzero(stage)
+        for i, j in zip(srcs, dsts):
+            if rel[i, j] == int(Relation.REMOTE):
+                counts["remote"] += 1
+            else:
+                counts["local"] += 1
+        out.append(counts)
+    return out
+
+
+def dominant_term(pattern: BarrierPattern, placement: Placement,
+                  c_local: float, c_remote: float) -> float:
+    """Two-class uniform cost: each stage is bounded by its most expensive
+    signal class; stages sum sequentially."""
+    require_nonnegative(c_local, "c_local")
+    require_nonnegative(c_remote, "c_remote")
+    total = 0.0
+    for counts in local_remote_split(pattern, placement):
+        if counts["remote"]:
+            total += c_remote
+        elif counts["local"]:
+            total += c_local
+    return total

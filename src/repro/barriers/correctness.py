@@ -1,0 +1,86 @@
+"""Knowledge-matrix correctness test for barrier patterns (§5.5).
+
+The thesis maps a barrier's information flow onto linear algebra: let
+``K[a, b]`` count the messages by which process *b* has evidence of process
+*a*'s arrival.  Before any communication each process knows only itself
+(``K = I``); executing stage ``S`` lets every receiver inherit its senders'
+accumulated knowledge:
+
+    K_0 = I + S_0                      (Eq. 5.1)
+    K_i = K_{i-1} + K_{i-1} x S_i      (Eq. 5.2)
+
+The pattern is a correct barrier iff the final ``K`` has no zero entry:
+every process has evidence of every other's arrival.  The thesis highlights
+this as a debugging tool for automatically generated patterns — exactly how
+Chapter 7's greedy generator uses it here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.barriers.patterns import BarrierPattern
+
+
+def knowledge_trace(pattern: BarrierPattern) -> list[np.ndarray]:
+    """Per-stage knowledge matrices ``[K_0, K_1, ...]`` (Eq. 5.1-5.2).
+
+    Counts can grow combinatorially with stages, so the recursion runs in
+    float and the test below only uses positivity.
+    """
+    p = pattern.nprocs
+    knowledge = np.eye(p)
+    trace = []
+    for stage in pattern.stages:
+        knowledge = knowledge + knowledge @ stage.astype(float)
+        trace.append(knowledge.copy())
+    return trace
+
+
+def is_correct_barrier(pattern: BarrierPattern) -> bool:
+    """True iff every process ends with evidence of every arrival."""
+    if pattern.nprocs == 1:
+        return True
+    if not pattern.stages:
+        return False
+    final = knowledge_trace(pattern)[-1]
+    return bool(np.all(final > 0))
+
+
+def uninformed_pairs(pattern: BarrierPattern) -> list[tuple[int, int]]:
+    """Pairs ``(a, b)`` where b lacks evidence of a's arrival at the end —
+    the "exact trace of the failure" the thesis extracts for debugging."""
+    if pattern.nprocs == 1:
+        return []
+    if not pattern.stages:
+        p = pattern.nprocs
+        return [(a, b) for a in range(p) for b in range(p) if a != b]
+    final = knowledge_trace(pattern)[-1]
+    rows, cols = np.nonzero(final == 0)
+    return [(int(a), int(b)) for a, b in zip(rows, cols)]
+
+
+def stages_to_completion(pattern: BarrierPattern) -> int | None:
+    """Index of the first stage after which the barrier condition holds, or
+    ``None`` if it never does.  Extra stages beyond this point are pure
+    overhead — useful when evaluating generated patterns."""
+    if pattern.nprocs == 1:
+        return 0
+    for idx, knowledge in enumerate(knowledge_trace(pattern)):
+        if np.all(knowledge > 0):
+            return idx
+    return None
+
+
+def assert_correct(pattern: BarrierPattern) -> None:
+    """Raise ``ValueError`` with the uninformed pairs if the pattern is not
+    a correct barrier."""
+    if is_correct_barrier(pattern):
+        return
+    missing = uninformed_pairs(pattern)
+    preview = ", ".join(f"{a}->{b}" for a, b in missing[:8])
+    more = "" if len(missing) <= 8 else f" (+{len(missing) - 8} more)"
+    raise ValueError(
+        f"pattern {pattern.name!r} is not a correct barrier; "
+        f"processes lacking arrival evidence: {preview}{more}"
+    )

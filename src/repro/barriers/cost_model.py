@@ -1,0 +1,215 @@
+"""Analytic barrier cost model (§5.6.5, Fig. 6.2).
+
+Given benchmark-extracted parameter matrices, the cost a sending process
+``i`` adds to every path through its stage ``s`` is Eq. 5.4:
+
+    cost(s, i) = 2 * sum_j L_ij * S_s[i, j]  +  max_j (O_ij * S_s[i, j])
+
+extended here with the Chapter 6 payload term ``sum_j M_s * B_ij * S_s[i,j]``
+for synchronisations that carry data.  Two side conditions apply (§5.6.5):
+
+1. the minimal stage cost is the invocation overhead ``O_ii``, and
+2. if the receiver ``j`` is known to be awaiting the signal — its last
+   action was a send to ``i`` followed by at least one idle stage — its
+   term in the maximisation is replaced by ``O_jj``.
+
+The predicted barrier time is the maximal accumulated cost over every path
+through the layered stage graph.  ``predict_barrier_cost`` computes it by
+stage-wise dynamic programming; ``critical_path_recursive`` is the thesis's
+recursive search (Fig. 6.2), kept as an independently coded cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.barriers.patterns import BarrierPattern
+from repro.simmpi.engine import stage_payload_matrix
+from repro.util.validation import require_matrix
+
+
+@dataclass(frozen=True)
+class CommParameters:
+    """Pairwise communication parameters as seen by the model.
+
+    ``overhead[i, j]`` is the marginal request-start cost O_ij with the
+    invocation cost O_ii on the diagonal; ``latency[i, j]`` the one-way
+    latency estimate L_ij; ``inv_bandwidth`` the per-byte cost used only by
+    payload-carrying synchronisation.  In the reproduction pipeline these
+    come from ``repro.bench.comm_bench``, never from ground truth.
+    """
+
+    overhead: np.ndarray
+    latency: np.ndarray
+    inv_bandwidth: np.ndarray | None = None
+
+    def __post_init__(self):
+        p = self.overhead.shape[0] if self.overhead.ndim == 2 else -1
+        object.__setattr__(self, "overhead", require_matrix(self.overhead, "overhead"))
+        object.__setattr__(
+            self, "latency", require_matrix(self.latency, "latency", (p, p))
+        )
+        if self.inv_bandwidth is not None:
+            object.__setattr__(
+                self,
+                "inv_bandwidth",
+                require_matrix(self.inv_bandwidth, "inv_bandwidth", (p, p)),
+            )
+
+    @property
+    def nprocs(self) -> int:
+        return self.overhead.shape[0]
+
+
+def posted_receive_pairs(pattern: BarrierPattern) -> list[set[tuple[int, int]]]:
+    """Per stage, the signals ``(i, j)`` whose receiver is very probably
+    already waiting (§5.6.5 condition 2): process j's last action was a
+    send to i, with at least one fully idle stage in between."""
+    p = pattern.nprocs
+    last_send_stage = np.full(p, -1)
+    last_send_target = np.full(p, -1)
+    last_activity = np.full(p, -1)
+    posted: list[set[tuple[int, int]]] = []
+    for s, stage in enumerate(pattern.stages):
+        stage_posted: set[tuple[int, int]] = set()
+        srcs, dsts = np.nonzero(stage)
+        for i, j in zip(srcs, dsts):
+            if (
+                last_send_target[j] == i
+                and last_send_stage[j] == last_activity[j]
+                and last_send_stage[j] <= s - 2
+            ):
+                stage_posted.add((int(i), int(j)))
+        posted.append(stage_posted)
+        for i, j in zip(srcs, dsts):
+            last_send_stage[i] = s
+            last_send_target[i] = j
+            last_activity[i] = s
+            last_activity[j] = s
+    return posted
+
+
+def stage_costs(
+    pattern: BarrierPattern,
+    params: CommParameters,
+    payload_bytes=None,
+    use_posted_condition: bool = True,
+) -> list[np.ndarray]:
+    """Per-stage vector of each process's Eq. 5.4 path contribution.
+
+    Pure receivers and senders alike pay at least the invocation floor;
+    non-participants contribute zero.  ``use_posted_condition=False``
+    disables §5.6.5's condition 2 (for ablation studies of the model).
+    """
+    p = pattern.nprocs
+    if params.nprocs != p:
+        raise ValueError("parameter matrices do not match the pattern size")
+    posted = (
+        posted_receive_pairs(pattern)
+        if use_posted_condition
+        else [set() for _ in pattern.stages]
+    )
+    overhead = params.overhead
+    latency = params.latency
+    costs: list[np.ndarray] = []
+    for s, stage in enumerate(pattern.stages):
+        payload = stage_payload_matrix(payload_bytes, s, p)
+        cost = np.zeros(p)
+        sends = stage.any(axis=1)
+        recvs = stage.any(axis=0)
+        for i in range(p):
+            if not (sends[i] or recvs[i]):
+                continue
+            if not sends[i]:
+                cost[i] = overhead[i, i]
+                continue
+            dests = np.flatnonzero(stage[i])
+            lat_term = 2.0 * float(latency[i, dests].sum())
+            pay_term = 0.0
+            if params.inv_bandwidth is not None and payload[i, dests].any():
+                pay_term = float(
+                    (payload[i, dests] * params.inv_bandwidth[i, dests]).sum()
+                )
+            ov_candidates = [
+                overhead[j, j] if (i, int(j)) in posted[s] else overhead[i, j]
+                for j in dests
+            ]
+            ov_term = max(ov_candidates)
+            cost[i] = max(lat_term + pay_term + ov_term, overhead[i, i])
+        costs.append(cost)
+    return costs
+
+
+def predict_barrier_timeline(
+    pattern: BarrierPattern,
+    params: CommParameters,
+    payload_bytes=None,
+    use_posted_condition: bool = True,
+) -> np.ndarray:
+    """Stage-wise DP over the layered graph: per-process predicted exits."""
+    p = pattern.nprocs
+    costs = stage_costs(
+        pattern, params, payload_bytes, use_posted_condition=use_posted_condition
+    )
+    t = np.zeros(p)
+    for stage, cost in zip(pattern.stages, costs):
+        new_t = t.copy()
+        participants = stage.any(axis=1) | stage.any(axis=0)
+        for i in np.flatnonzero(participants):
+            new_t[i] = max(new_t[i], t[i] + cost[i])
+        srcs, dsts = np.nonzero(stage)
+        for i, j in zip(srcs, dsts):
+            new_t[j] = max(new_t[j], t[i] + cost[i])
+        t = new_t
+    return t
+
+
+def predict_barrier_cost(
+    pattern: BarrierPattern,
+    params: CommParameters,
+    payload_bytes=None,
+    use_posted_condition: bool = True,
+) -> float:
+    """Worst-case path prediction — the §5.6.6 reported value."""
+    if pattern.nprocs == 1 or not pattern.stages:
+        return 0.0
+    return float(
+        predict_barrier_timeline(
+            pattern, params, payload_bytes,
+            use_posted_condition=use_posted_condition,
+        ).max()
+    )
+
+
+def critical_path_recursive(
+    pattern: BarrierPattern,
+    params: CommParameters,
+    payload_bytes=None,
+) -> float:
+    """Fig. 6.2's recursive path search; exponential, for small-P checks."""
+    p = pattern.nprocs
+    if p == 1 or not pattern.stages:
+        return 0.0
+    costs = stage_costs(pattern, params, payload_bytes)
+    stages = pattern.stages
+    num_stages = len(stages)
+    best = 0.0
+
+    def walk(stage_idx: int, proc: int, acc: float) -> None:
+        nonlocal best
+        if stage_idx == num_stages:
+            best = max(best, acc)
+            return
+        stage = stages[stage_idx]
+        participates = stage[proc].any() or stage[:, proc].any()
+        own = costs[stage_idx][proc] if participates else 0.0
+        walk(stage_idx + 1, proc, acc + own)
+        if stage[proc].any():
+            for j in np.flatnonzero(stage[proc]):
+                walk(stage_idx + 1, int(j), acc + costs[stage_idx][proc])
+
+    for start in range(p):
+        walk(0, start, 0.0)
+    return best

@@ -1,0 +1,83 @@
+"""Benchmarking substrate: statistics, sampling, and platform profiling."""
+
+from repro.bench.stats import (
+    student_t_critical,
+    mean_confidence_interval,
+    outlier_mask,
+    resample_outliers,
+    RegressionLine,
+    linear_regression,
+    batched_regression,
+    median,
+)
+from repro.bench.sampling import FilteredSample, collect_filtered
+from repro.bench.comm_bench import (
+    CommBenchReport,
+    benchmark_comm,
+    benchmark_comm_for_counts,
+    DEFAULT_SIZES,
+    DEFAULT_REQUEST_COUNTS,
+)
+from repro.bench.kernel_bench import (
+    KernelProfile,
+    ValidationPoint,
+    benchmark_kernel,
+    validate_profile,
+    extrapolate_with_rate,
+    DEFAULT_ITERATION_COUNTS,
+)
+from repro.bench.blas_profile import (
+    SweepPoint,
+    KernelSweep,
+    sweep_kernel,
+    sweep_kernels,
+    in_cache_sizes,
+    beyond_cache_sizes,
+)
+from repro.bench.bspbench import (
+    RatePoint,
+    BSPBenchResult,
+    run_bspbench,
+    bspbench_table,
+    measure_rate_points,
+    measure_h_relations,
+)
+from repro.bench.validation import StabilityReport, benchmark_stability
+
+__all__ = [
+    "student_t_critical",
+    "mean_confidence_interval",
+    "outlier_mask",
+    "resample_outliers",
+    "RegressionLine",
+    "linear_regression",
+    "batched_regression",
+    "median",
+    "FilteredSample",
+    "collect_filtered",
+    "CommBenchReport",
+    "benchmark_comm",
+    "benchmark_comm_for_counts",
+    "DEFAULT_SIZES",
+    "DEFAULT_REQUEST_COUNTS",
+    "KernelProfile",
+    "ValidationPoint",
+    "benchmark_kernel",
+    "validate_profile",
+    "extrapolate_with_rate",
+    "DEFAULT_ITERATION_COUNTS",
+    "SweepPoint",
+    "KernelSweep",
+    "sweep_kernel",
+    "sweep_kernels",
+    "in_cache_sizes",
+    "beyond_cache_sizes",
+    "RatePoint",
+    "BSPBenchResult",
+    "run_bspbench",
+    "bspbench_table",
+    "measure_rate_points",
+    "measure_h_relations",
+    "StabilityReport",
+    "benchmark_stability",
+]

@@ -1,0 +1,84 @@
+"""Benchmark validation: stability of the extracted parameters (§5.6.4).
+
+The thesis accepts a benchmark protocol once its "reproducible variability
+stabilised at approximately an order of magnitude lower than the measured
+result".  This module quantifies that criterion: repeat the communication
+benchmark with independent noise streams, and report per-pair relative
+spread of the extracted latency / overhead / bandwidth matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.comm_bench import benchmark_comm
+from repro.cluster.topology import Placement
+from repro.machine.simmachine import SimMachine
+from repro.util.validation import require_int
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Relative spread of repeated parameter extractions."""
+
+    repeats: int
+    latency_rel_spread: np.ndarray  # per-pair (max-min)/median, off-diag
+    overhead_rel_spread: np.ndarray
+    inv_bandwidth_rel_spread: np.ndarray
+
+    @property
+    def worst_latency_spread(self) -> float:
+        return float(self.latency_rel_spread.max())
+
+    @property
+    def median_latency_spread(self) -> float:
+        return float(np.median(self.latency_rel_spread))
+
+    def acceptable(self, bound: float = 0.1) -> bool:
+        """The §5.6.4 criterion: typical variability at least an order of
+        magnitude below the measured values (relative spread <= ``bound``)."""
+        return self.median_latency_spread <= bound
+
+
+def benchmark_stability(
+    machine: SimMachine,
+    placement: Placement,
+    repeats: int = 5,
+    samples: int = 15,
+    sizes=tuple(2**k for k in range(0, 17, 4)),
+) -> StabilityReport:
+    """Repeat the §5.6.3 benchmark with independent noise streams and
+    measure the spread of every extracted pairwise parameter."""
+    repeats = require_int(repeats, "repeats")
+    if repeats < 2:
+        raise ValueError("need at least two repeats")
+    p = placement.nprocs
+    latencies = np.empty((repeats, p, p))
+    overheads = np.empty((repeats, p, p))
+    betas = np.empty((repeats, p, p))
+    for r in range(repeats):
+        report = benchmark_comm(
+            machine, placement, samples=samples, sizes=sizes,
+            stream=f"stability-{r}",
+        )
+        latencies[r] = report.params.latency
+        overheads[r] = report.params.overhead
+        betas[r] = report.params.inv_bandwidth
+
+    mask = ~np.eye(p, dtype=bool)
+
+    def spread(stack: np.ndarray) -> np.ndarray:
+        lo = stack.min(axis=0)[mask]
+        hi = stack.max(axis=0)[mask]
+        mid = np.median(stack, axis=0)[mask]
+        mid = np.where(mid > 0, mid, 1.0)
+        return (hi - lo) / mid
+
+    return StabilityReport(
+        repeats=repeats,
+        latency_rel_spread=spread(latencies),
+        overhead_rel_spread=spread(overheads),
+        inv_bandwidth_rel_spread=spread(betas),
+    )

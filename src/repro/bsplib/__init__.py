@@ -1,0 +1,55 @@
+"""BSPlib runtime: the 20 primitives of Table 6.1 over a simulated cluster."""
+
+from repro.bsplib.api import BSPContext
+from repro.bsplib.errors import (
+    BSPAbort,
+    BSPError,
+    CommunicationError,
+    RegistrationError,
+    TagSizeError,
+)
+from repro.bsplib.messages import (
+    HEADER_BYTES,
+    DeliveredMessage,
+    Header,
+    SignalType,
+)
+from repro.bsplib.registration import RegistrationTable
+from repro.bsplib.runtime import (
+    BSPRunResult,
+    BSPRuntime,
+    SuperstepRecord,
+    bsp_run,
+)
+from repro.bsplib.sync_model import (
+    COUNT_BYTES,
+    dissemination_payloads,
+    measure_sync_cost,
+    predict_sync_cost,
+    sync_pattern,
+)
+from repro.bsplib import collectives
+
+__all__ = [
+    "BSPContext",
+    "BSPAbort",
+    "BSPError",
+    "CommunicationError",
+    "RegistrationError",
+    "TagSizeError",
+    "HEADER_BYTES",
+    "DeliveredMessage",
+    "Header",
+    "SignalType",
+    "RegistrationTable",
+    "BSPRunResult",
+    "BSPRuntime",
+    "SuperstepRecord",
+    "bsp_run",
+    "COUNT_BYTES",
+    "dissemination_payloads",
+    "measure_sync_cost",
+    "predict_sync_cost",
+    "sync_pattern",
+    "collectives",
+]

@@ -1,0 +1,123 @@
+"""Collective operations built on the BSPlib primitives.
+
+BSPlib deliberately ships no collectives: programs compose them from
+``put``/``get``/``send`` (Bisseling's BSPEdupack does exactly this).  This
+module provides the standard set as library routines over
+:class:`~repro.bsplib.api.BSPContext`, so applications on the runtime get
+broadcast/reduce/scan/gather/all-to-all without hand-rolling the patterns.
+
+Every routine is a *collective*: all processes must call it in the same
+superstep, and each costs one ``bsp_sync`` (two for the tree-structured
+reduce-then-broadcast of ``allreduce``).  Payloads are 1-D float64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsplib.api import BSPContext
+from repro.bsplib.errors import CommunicationError
+from repro.util.validation import require_int
+
+
+def _as_payload(value) -> np.ndarray:
+    array = np.atleast_1d(np.asarray(value, dtype=float))
+    if array.ndim != 1:
+        raise CommunicationError("collective payloads must be 1-D")
+    return array
+
+
+def broadcast(ctx: BSPContext, value, root: int = 0) -> np.ndarray:
+    """One-superstep broadcast: the root puts into every process."""
+    root = require_int(root, "root")
+    payload = _as_payload(value if ctx.pid == root else np.zeros_like(
+        _as_payload(value)
+    ))
+    buffer = np.zeros_like(payload)
+    ctx.push_reg(buffer)
+    ctx.sync()
+    if ctx.pid == root:
+        data = _as_payload(value)
+        for q in range(ctx.nprocs):
+            ctx.put(q, data, buffer)
+    ctx.sync()
+    ctx.pop_reg(buffer)
+    return buffer
+
+
+def gather(ctx: BSPContext, value, root: int = 0) -> np.ndarray | None:
+    """Gather equal-length contributions to the root (None elsewhere)."""
+    root = require_int(root, "root")
+    data = _as_payload(value)
+    block = data.shape[0]
+    buffer = np.zeros(block * ctx.nprocs)
+    ctx.push_reg(buffer)
+    ctx.sync()
+    ctx.put(root, data, buffer, offset=ctx.pid * block)
+    ctx.sync()
+    ctx.pop_reg(buffer)
+    return buffer if ctx.pid == root else None
+
+
+def allgather(ctx: BSPContext, value) -> np.ndarray:
+    """Every process ends with the concatenation of all contributions."""
+    data = _as_payload(value)
+    block = data.shape[0]
+    buffer = np.zeros(block * ctx.nprocs)
+    ctx.push_reg(buffer)
+    ctx.sync()
+    for q in range(ctx.nprocs):
+        ctx.put(q, data, buffer, offset=ctx.pid * block)
+    ctx.sync()
+    ctx.pop_reg(buffer)
+    return buffer
+
+
+_OPS = {
+    "sum": np.add.reduce,
+    "max": np.maximum.reduce,
+    "min": np.minimum.reduce,
+    "prod": np.multiply.reduce,
+}
+
+
+def allreduce(ctx: BSPContext, value, op: str = "sum") -> np.ndarray:
+    """Element-wise reduction visible on every process (one superstep:
+    all-gather then local reduction, the BSPEdupack idiom)."""
+    if op not in _OPS:
+        raise ValueError(f"unknown op {op!r}; know {sorted(_OPS)}")
+    data = _as_payload(value)
+    gathered = allgather(ctx, data)
+    parts = gathered.reshape(ctx.nprocs, data.shape[0])
+    return _OPS[op](parts, axis=0)
+
+
+def scan(ctx: BSPContext, value, op: str = "sum") -> np.ndarray:
+    """Inclusive prefix reduction by rank order (process p receives the
+    reduction of contributions 0..p)."""
+    if op not in _OPS:
+        raise ValueError(f"unknown op {op!r}; know {sorted(_OPS)}")
+    data = _as_payload(value)
+    gathered = allgather(ctx, data)
+    parts = gathered.reshape(ctx.nprocs, data.shape[0])
+    return _OPS[op](parts[: ctx.pid + 1], axis=0)
+
+
+def alltoall(ctx: BSPContext, blocks) -> np.ndarray:
+    """Total exchange: ``blocks[q]`` goes to process q; returns the P
+    received blocks concatenated in source order."""
+    blocks = [np.atleast_1d(np.asarray(b, dtype=float)) for b in blocks]
+    if len(blocks) != ctx.nprocs:
+        raise CommunicationError("alltoall needs one block per process")
+    sizes = {b.shape[0] for b in blocks}
+    if len(sizes) != 1:
+        raise CommunicationError("alltoall blocks must be equal-length")
+    block = sizes.pop()
+    buffer = np.zeros(block * ctx.nprocs)
+    ctx.push_reg(buffer)
+    ctx.sync()
+    for q in range(ctx.nprocs):
+        ctx.put(q, blocks[q], buffer, offset=ctx.pid * block)
+    ctx.sync()
+    ctx.pop_reg(buffer)
+    return buffer

@@ -1,0 +1,30 @@
+"""BSPlib runtime error types."""
+
+from __future__ import annotations
+
+
+class BSPError(RuntimeError):
+    """Base class for BSPlib runtime failures."""
+
+
+class BSPAbort(BSPError):
+    """Raised when any process calls ``bsp_abort`` (Table 6.1)."""
+
+    def __init__(self, pid: int, message: str):
+        super().__init__(f"bsp_abort called by process {pid}: {message}")
+        self.pid = pid
+        self.abort_message = message
+
+
+class RegistrationError(BSPError):
+    """Inconsistent ``bsp_push_reg`` / ``bsp_pop_reg`` usage across
+    processes, or a remote access to an unregistered buffer."""
+
+
+class TagSizeError(BSPError):
+    """``bsp_set_tagsize`` disagreement between processes, or a send whose
+    tag does not match the superstep's collective tag size."""
+
+
+class CommunicationError(BSPError):
+    """Malformed one-sided access: bad offsets, lengths, or process ids."""

@@ -1,0 +1,109 @@
+"""Memory registration for one-sided communication (§6.2).
+
+BSPlib programs refer to remote memory through *registrations*: every
+process pushes its local counterpart of a distributed variable in the same
+order, and the runtime assigns a common slot index.  The thesis implements
+this with two queues (pushes and pops during the superstep) committed into
+a hash table at synchronisation time, keyed on the local pointer; we key on
+``id(array)`` with a stack per pointer, matching BSPlib's re-registration
+semantics (the most recent registration of an address wins, and pops remove
+the most recent one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bsplib.errors import RegistrationError
+
+
+@dataclass
+class _Slot:
+    """One registered buffer on one process."""
+
+    index: int
+    array: np.ndarray
+
+
+@dataclass
+class RegistrationTable:
+    """Per-process registration state."""
+
+    _push_queue: list[np.ndarray] = field(default_factory=list)
+    _pop_queue: list[int] = field(default_factory=list)  # object ids
+    _by_id: dict[int, list[_Slot]] = field(default_factory=dict)
+    _slots: dict[int, _Slot] = field(default_factory=dict)
+    _next_index: int = 0
+
+    # ----------------------------------------------------------- superstep
+
+    def queue_push(self, array: np.ndarray) -> None:
+        if not isinstance(array, np.ndarray):
+            raise RegistrationError("only numpy arrays can be registered")
+        self._push_queue.append(array)
+
+    def queue_pop(self, array: np.ndarray) -> None:
+        key = id(array)
+        pending = sum(1 for a in self._push_queue if id(a) == key)
+        if key not in self._by_id and pending == 0:
+            raise RegistrationError("bsp_pop_reg of an unregistered buffer")
+        self._pop_queue.append(key)
+
+    @property
+    def pending_pushes(self) -> int:
+        return len(self._push_queue)
+
+    @property
+    def pending_pops(self) -> int:
+        return len(self._pop_queue)
+
+    # ----------------------------------------------------------- sync time
+
+    def commit(self, assign_indices: list[int]) -> None:
+        """Apply queued pushes/pops; ``assign_indices`` are the collective
+        slot indices for this superstep's pushes (same on every process)."""
+        if len(assign_indices) != len(self._push_queue):
+            raise RegistrationError(
+                "internal: index assignment does not match queued pushes"
+            )
+        for array, index in zip(self._push_queue, assign_indices):
+            slot = _Slot(index=index, array=array)
+            self._by_id.setdefault(id(array), []).append(slot)
+            self._slots[index] = slot
+            self._next_index = max(self._next_index, index + 1)
+        self._push_queue.clear()
+        for key in self._pop_queue:
+            stack = self._by_id.get(key)
+            if not stack:
+                raise RegistrationError("bsp_pop_reg of an unregistered buffer")
+            slot = stack.pop()
+            if not stack:
+                del self._by_id[key]
+            del self._slots[slot.index]
+        self._pop_queue.clear()
+
+    # -------------------------------------------------------------- lookup
+
+    def index_of(self, array: np.ndarray) -> int:
+        """Slot index of a local buffer (most recent registration)."""
+        stack = self._by_id.get(id(array))
+        if not stack:
+            raise RegistrationError(
+                "remote access through an unregistered buffer; did you call "
+                "bsp_push_reg and bsp_sync first?"
+            )
+        return stack[-1].index
+
+    def array_at(self, index: int) -> np.ndarray:
+        try:
+            return self._slots[index].array
+        except KeyError:
+            raise RegistrationError(
+                f"no buffer registered at slot {index} on this process"
+            ) from None
+
+    @property
+    def registered_count(self) -> int:
+        return len(self._slots)

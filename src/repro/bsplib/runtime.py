@@ -1,0 +1,523 @@
+"""Threaded BSPlib runtime with virtual-time accounting (Ch. 6).
+
+Each BSP process is a Python thread running the user's SPMD program against
+a :class:`BSPContext`.  Real data moves (puts, gets, tagged sends are
+actually applied to NumPy buffers), while *time* is virtual: computation
+advances a per-process clock through the machine's kernel-time model, and
+``bsp_sync`` resolves the superstep's communication schedule on the
+simulated platform.
+
+The processing model is the thesis's revision (Fig. 1.2): communication is
+*committed as early as possible* — each operation's transfer becomes ready
+at its commit time and streams in the background, overlapping the rest of
+the superstep's computation.  At synchronisation the runtime:
+
+1. validates collective state (registrations, tag sizes),
+2. schedules all transfers over the ground-truth links with per-node NIC
+   serialisation (get requests travel as headers; replies leave once the
+   owner reaches the superstep's end),
+3. runs the payload-carrying dissemination sync (§6.4-6.5) from each
+   process's compute-end time,
+4. releases each process at max(sync completion, its last inbound arrival),
+5. applies gets (reading pre-put values), then puts, then delivers tagged
+   messages — all in deterministic (pid, sequence) order.
+
+Thread scheduling (§6.3) is abstracted: the cooperative sched_yield dance
+of the real implementation appears here as a fixed per-operation software
+overhead (``op_overhead``), which is exactly the BSP-vs-MPI overhead the
+Chapter 8 experiments observe.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsplib.errors import (
+    BSPError,
+    CommunicationError,
+    RegistrationError,
+    TagSizeError,
+)
+from repro.bsplib.messages import (
+    HEADER_BYTES,
+    DeliveredMessage,
+    GetRecord,
+    PutRecord,
+    SendRecord,
+)
+from repro.bsplib.registration import RegistrationTable
+from repro.bsplib.sync_model import dissemination_payloads, sync_pattern
+from repro.machine.clock import VirtualClock
+from repro.machine.simmachine import CommTruth, SimMachine
+from repro.simmpi.engine import simulate_stages
+from repro.util.validation import require_int, require_nonnegative
+
+_COLLECTIVE_TIMEOUT = 120.0  # wall-clock guard against deadlocked programs
+
+
+@dataclass
+class SuperstepRecord:
+    """Virtual-time accounting of one superstep (the Ch. 8 measurables)."""
+
+    index: int
+    entry_times: np.ndarray  # compute-end per process [s]
+    compute_seconds: np.ndarray  # kernel time charged this superstep
+    last_arrival: np.ndarray  # per-process last inbound payload arrival
+    sync_exit: np.ndarray  # dissemination sync completion per process
+    exit_times: np.ndarray  # superstep end per process
+    messages: int
+    payload_bytes: int
+
+    @property
+    def duration(self) -> float:
+        """Global superstep duration: latest exit minus earliest entry of
+        the step's body (entry here is compute-end; body started at the
+        previous exit)."""
+        return float(self.exit_times.max())
+
+    def exposed_comm_seconds(self) -> np.ndarray:
+        """Per-process non-masked communication + synchronisation time."""
+        return self.exit_times - self.entry_times
+
+
+@dataclass
+class BSPRunResult:
+    """Outcome of one SPMD execution."""
+
+    nprocs: int
+    return_values: list
+    supersteps: list[SuperstepRecord]
+    final_times: np.ndarray
+
+    @property
+    def total_seconds(self) -> float:
+        """Virtual wall time of the run."""
+        return float(self.final_times.max())
+
+    @property
+    def superstep_count(self) -> int:
+        return len(self.supersteps)
+
+
+class _ProcessState:
+    """Mutable per-process runtime state (touched by its own thread, and by
+    the resolving thread while all others are blocked in the collective)."""
+
+    def __init__(self, pid: int, rng):
+        self.pid = pid
+        self.clock = VirtualClock()
+        self.rng = rng
+        self.regs = RegistrationTable()
+        self.puts: list[PutRecord] = []
+        self.gets: list[GetRecord] = []
+        self.sends: list[SendRecord] = []
+        self.sequence = 0
+        self.compute_accum = 0.0
+        self.tag_size = 0
+        self.tag_size_request: int | None = None
+        self.incoming: list[DeliveredMessage] = []
+        self.move_cursor = 0
+        self.begun = False
+        self.ended = False
+        self.return_value = None
+
+    def next_seq(self) -> int:
+        self.sequence += 1
+        return self.sequence
+
+
+class _Collective:
+    """Rendezvous of all P threads with a mismatch check and a single
+    resolver action — the runtime's internal barrier."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.cond = threading.Condition()
+        self.kinds: list[str | None] = [None] * nprocs
+        self.arrived = 0
+        self.generation = 0
+        self.failure: BaseException | None = None
+
+    def fail(self, exc: BaseException) -> None:
+        with self.cond:
+            if self.failure is None:
+                self.failure = exc
+            self.cond.notify_all()
+
+    def arrive(self, pid: int, kind: str, action=None) -> None:
+        with self.cond:
+            if self.failure is not None:
+                raise self.failure
+            gen = self.generation
+            self.kinds[pid] = kind
+            self.arrived += 1
+            if self.arrived == self.nprocs:
+                if len(set(self.kinds)) != 1:
+                    self.failure = BSPError(
+                        f"collective mismatch: processes disagree on "
+                        f"{sorted(set(str(k) for k in self.kinds))}"
+                    )
+                elif action is not None:
+                    try:
+                        action()
+                    except BaseException as exc:  # propagate to every thread
+                        self.failure = exc
+                self.arrived = 0
+                self.kinds = [None] * self.nprocs
+                self.generation += 1
+                self.cond.notify_all()
+            else:
+                while (
+                    self.generation == gen
+                    and self.failure is None
+                ):
+                    if not self.cond.wait(timeout=_COLLECTIVE_TIMEOUT):
+                        self.failure = BSPError(
+                            "collective timed out: a process failed to reach "
+                            "bsp_sync (non-collective synchronisation?)"
+                        )
+                        self.cond.notify_all()
+                        break
+            if self.failure is not None:
+                raise self.failure
+
+
+class BSPRuntime:
+    """Executes SPMD programs over a simulated machine."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        nprocs: int,
+        placement_policy: str = "round_robin",
+        op_overhead: float = 1.5e-6,
+        label: str = "bsp-run",
+        noisy: bool = True,
+    ):
+        self.machine = machine
+        self.nprocs = require_int(nprocs, "nprocs")
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.placement = machine.placement(nprocs, policy=placement_policy)
+        self.truth: CommTruth = machine.comm_truth(self.placement)
+        self.op_overhead = require_nonnegative(op_overhead, "op_overhead")
+        self.label = label
+        self.noisy = noisy
+        self._noise = machine.noise if noisy else None
+        self._sync_rng = machine.rng("bsplib-sync", label, nprocs)
+        self.states = [
+            _ProcessState(pid, machine.rng("bsplib-compute", label, nprocs, pid))
+            for pid in range(nprocs)
+        ]
+        self._collective = _Collective(nprocs)
+        self._next_reg_index = 0
+        self._superstep = 0
+        self._records: list[SuperstepRecord] = []
+        self._sync_stages = sync_pattern(nprocs).stages
+        self._sync_payloads = dissemination_payloads(nprocs)
+
+    # ------------------------------------------------------------- running
+
+    def run(self, program, *args, **kwargs) -> BSPRunResult:
+        """Run ``program(ctx, *args, **kwargs)`` on every BSP process."""
+        from repro.bsplib.api import BSPContext
+
+        errors: list[BaseException] = []
+        threads = []
+
+        def thread_main(pid: int) -> None:
+            ctx = BSPContext(self, pid)
+            try:
+                self.states[pid].return_value = program(ctx, *args, **kwargs)
+                self._collective.arrive(pid, "exit", action=None)
+            except BaseException as exc:
+                self._collective.fail(exc)
+                errors.append(exc)
+
+        for pid in range(self.nprocs):
+            t = threading.Thread(
+                target=thread_main, args=(pid,), name=f"bsp-{self.label}-{pid}"
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join()
+        if errors or self._collective.failure is not None:
+            raise errors[0] if errors else self._collective.failure
+        return BSPRunResult(
+            nprocs=self.nprocs,
+            return_values=[state.return_value for state in self.states],
+            supersteps=self._records,
+            final_times=np.array([state.clock.now for state in self.states]),
+        )
+
+    # --------------------------------------------------- superstep resolve
+
+    def sync_from(self, pid: int) -> None:
+        self._collective.arrive(pid, "sync", action=self._resolve_superstep)
+
+    def _resolve_superstep(self) -> None:
+        states = self.states
+        p = self.nprocs
+        entries = np.array([state.clock.now for state in states])
+
+        self._commit_registrations()
+        self._commit_tag_sizes()
+
+        last_arrival = entries.copy()
+        messages = 0
+        payload_total = 0
+        if p > 1:
+            last_arrival, messages, payload_total = self._schedule_transfers(entries)
+
+        if p > 1:
+            sync_exit = simulate_stages(
+                self.truth,
+                self._sync_stages,
+                payload_bytes=self._sync_payloads,
+                rng=self._sync_rng if self.noisy else None,
+                noise=self._noise,
+                entry_times=entries,
+            )
+        else:
+            sync_exit = entries.copy()
+
+        exits = np.maximum(sync_exit, last_arrival)
+        self._apply_data()
+        for pid, state in enumerate(states):
+            state.clock.advance_to(float(exits[pid]))
+
+        record = SuperstepRecord(
+            index=self._superstep,
+            entry_times=entries,
+            compute_seconds=np.array([state.compute_accum for state in states]),
+            last_arrival=last_arrival,
+            sync_exit=sync_exit,
+            exit_times=exits,
+            messages=messages,
+            payload_bytes=payload_total,
+        )
+        self._records.append(record)
+        self._superstep += 1
+        for state in states:
+            state.compute_accum = 0.0
+            state.puts.clear()
+            state.gets.clear()
+            state.sends.clear()
+
+    def _commit_registrations(self) -> None:
+        push_counts = {state.regs.pending_pushes for state in self.states}
+        if len(push_counts) != 1:
+            raise RegistrationError(
+                "bsp_push_reg must be called collectively: push counts differ"
+            )
+        pop_counts = {state.regs.pending_pops for state in self.states}
+        if len(pop_counts) != 1:
+            raise RegistrationError(
+                "bsp_pop_reg must be called collectively: pop counts differ"
+            )
+        count = push_counts.pop()
+        indices = list(range(self._next_reg_index, self._next_reg_index + count))
+        self._next_reg_index += count
+        for state in self.states:
+            state.regs.commit(indices)
+
+    def _commit_tag_sizes(self) -> None:
+        requests = {state.tag_size_request for state in self.states}
+        if requests == {None}:
+            return
+        if None in requests or len(requests) != 1:
+            raise TagSizeError(
+                "bsp_set_tagsize must be called collectively with one value"
+            )
+        new_size = requests.pop()
+        for state in self.states:
+            state.tag_size = new_size
+            state.tag_size_request = None
+
+    # ----------------------------------------------------------- transfers
+
+    def _noisy_duration(self, base: float) -> float:
+        if self._noise is None:
+            return base
+        return self._noise.sample_scalar(self._sync_rng, base)
+
+    def _schedule_transfers(self, entries: np.ndarray):
+        truth = self.truth
+        nodes = [self.placement.node_of(r) for r in range(self.nprocs)]
+        tx_free: dict[int, float] = {}
+        last_arrival = entries.copy()
+        messages = 0
+        payload_total = 0
+
+        def ship(src: int, dst: int, nbytes: int, ready: float) -> float:
+            """Schedule one transfer; returns its arrival time."""
+            nonlocal messages, payload_total
+            messages += 1
+            payload_total += nbytes
+            transit = truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
+            if nodes[src] != nodes[dst]:
+                free = tx_free.get(nodes[src], 0.0)
+                wire_entry = max(ready, free)
+                tx_free[nodes[src]] = (
+                    wire_entry
+                    + truth.nic_gap
+                    + nbytes * truth.inv_bandwidth[src, dst]
+                )
+            else:
+                wire_entry = ready
+            return wire_entry + self._noisy_duration(transit) + truth.recv_overhead
+
+        # Pass 1: puts, hpputs, sends, and get request headers, in global
+        # deterministic commit order.
+        outbound = []
+        for state in self.states:
+            for rec in state.puts:
+                outbound.append(
+                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
+                     "put", rec)
+                )
+            for rec in state.sends:
+                outbound.append(
+                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
+                     "send", rec)
+                )
+            for rec in state.gets:
+                outbound.append(
+                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
+                     "get", rec)
+                )
+        outbound.sort(key=lambda item: (item[0], item[1], item[2]))
+
+        get_requests: list[tuple[float, GetRecord]] = []
+        for ready, _src, _seq, kind, rec in outbound:
+            if kind == "put":
+                arrival = ship(
+                    rec.header.source_pid, rec.dest_pid,
+                    rec.nbytes + HEADER_BYTES, ready,
+                )
+                last_arrival[rec.dest_pid] = max(last_arrival[rec.dest_pid], arrival)
+            elif kind == "send":
+                arrival = ship(
+                    rec.header.source_pid, rec.dest_pid,
+                    rec.nbytes + HEADER_BYTES, ready,
+                )
+                last_arrival[rec.dest_pid] = max(last_arrival[rec.dest_pid], arrival)
+            else:  # get request header
+                arrival = ship(
+                    rec.requester_pid, rec.target_pid, HEADER_BYTES, ready
+                )
+                get_requests.append((arrival, rec))
+
+        # Pass 2: get replies leave once the owner has both received the
+        # request and finished its superstep computation (§6.2: the value
+        # transferred is the one at the end of the step).
+        for request_arrival, rec in sorted(
+            get_requests, key=lambda item: (item[0], item[1].requester_pid)
+        ):
+            ready = max(request_arrival, entries[rec.target_pid])
+            arrival = ship(
+                rec.target_pid, rec.requester_pid,
+                rec.nbytes + HEADER_BYTES, ready,
+            )
+            last_arrival[rec.requester_pid] = max(
+                last_arrival[rec.requester_pid], arrival
+            )
+        return last_arrival, messages, payload_total
+
+    # ------------------------------------------------------- data movement
+
+    def _apply_data(self) -> None:
+        # Gets first: they read source values from the end of the computing
+        # phase, before any put lands (BSPlib ordering).
+        get_values = []
+        for state in self.states:
+            for rec in sorted(state.gets, key=lambda r: r.header.sequence):
+                source = self.states[rec.target_pid].regs.array_at(
+                    rec.header.reg_index
+                )
+                length = rec.dest_array[
+                    rec.dest_offset : rec.dest_offset + rec.header.length
+                ].shape[0]
+                start = rec.header.offset
+                value = source[start : start + length].copy()
+                get_values.append((rec, value))
+
+        for state in self.states:
+            for rec in sorted(state.puts, key=lambda r: r.header.sequence):
+                dest = self.states[rec.dest_pid].regs.array_at(rec.header.reg_index)
+                data = rec.payload if rec.payload is not None else rec.source_view
+                start = rec.header.offset
+                if start + data.shape[0] > dest.shape[0]:
+                    raise CommunicationError(
+                        f"put overruns registered buffer on process "
+                        f"{rec.dest_pid}: offset {start} + {data.shape[0]} > "
+                        f"{dest.shape[0]}"
+                    )
+                dest[start : start + data.shape[0]] = data
+
+        for rec, value in get_values:
+            rec.dest_array[
+                rec.dest_offset : rec.dest_offset + value.shape[0]
+            ] = value
+
+        for state in self.states:
+            state.incoming = []
+            state.move_cursor = 0
+        deliveries = []
+        for state in self.states:
+            for rec in state.sends:
+                deliveries.append(rec)
+        deliveries.sort(key=lambda r: (r.header.source_pid, r.header.sequence))
+        for rec in deliveries:
+            self.states[rec.dest_pid].incoming.append(
+                DeliveredMessage(
+                    source_pid=rec.header.source_pid,
+                    tag=rec.tag,
+                    payload=rec.payload,
+                )
+            )
+
+    # -------------------------------------------------------------- helper
+
+    def check_pid(self, pid: int) -> int:
+        pid = require_int(pid, "pid")
+        if not 0 <= pid < self.nprocs:
+            raise CommunicationError(
+                f"process id {pid} out of range for nprocs={self.nprocs}"
+            )
+        return pid
+
+    def charge_op(self, state: _ProcessState, dest_pid: int | None = None) -> float:
+        """Advance a process clock by the software cost of one BSPlib call
+        (§6.3's queue/yield overhead plus the request start cost)."""
+        cost = self.op_overhead + self.truth.invocation_overhead
+        if dest_pid is not None and dest_pid != state.pid:
+            cost += float(self.truth.start_overhead[state.pid, dest_pid])
+        return state.clock.advance(cost)
+
+
+def bsp_run(
+    machine: SimMachine,
+    nprocs: int,
+    program,
+    *args,
+    placement_policy: str = "round_robin",
+    op_overhead: float = 1.5e-6,
+    label: str = "bsp-run",
+    noisy: bool = True,
+    **kwargs,
+) -> BSPRunResult:
+    """Convenience entry point: build a runtime and execute ``program``."""
+    runtime = BSPRuntime(
+        machine,
+        nprocs,
+        placement_policy=placement_policy,
+        op_overhead=op_overhead,
+        label=label,
+        noisy=noisy,
+    )
+    return runtime.run(program, *args, **kwargs)

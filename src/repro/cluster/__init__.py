@@ -1,0 +1,25 @@
+"""Simulated SMP-cluster substrate: topology, placement, ground-truth
+parameters, noise, and calibrated platform presets."""
+
+from repro.cluster.topology import Relation, Topology, Placement
+from repro.cluster.params import (
+    LinkParams,
+    CacheLevel,
+    CoreParams,
+    ClusterParams,
+)
+from repro.cluster.noise import NoiseModel, QUIET
+from repro.cluster import presets
+
+__all__ = [
+    "Relation",
+    "Topology",
+    "Placement",
+    "LinkParams",
+    "CacheLevel",
+    "CoreParams",
+    "ClusterParams",
+    "NoiseModel",
+    "QUIET",
+    "presets",
+]

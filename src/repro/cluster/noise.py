@@ -1,0 +1,64 @@
+"""Measurement noise model for the simulated platform.
+
+The thesis's benchmarking chapters (§4.1, §5.6.3) are shaped by the fight
+against nondeterministic timing: OS jitter, cache state, background services,
+and occasional extreme outliers that must be filtered before regression.  We
+reproduce that environment with a two-component model applied to every
+sampled duration:
+
+* multiplicative log-normal jitter (``sigma`` in log space), representing
+  scheduling and cache-state variation, and
+* rare additive outlier spikes (probability ``outlier_prob``), scaled a
+  multiple of the base duration, representing daemon wakeups / page faults.
+
+Both components only ever *add* time in expectation terms that keep the
+median close to the base value, which is why median-based statistics (used
+throughout the thesis) are robust here while means are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require_in_range, require_nonnegative
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Stochastic perturbation applied to simulated durations."""
+
+    jitter_sigma: float = 0.06  # log-space sigma of multiplicative jitter
+    outlier_prob: float = 0.015  # probability a sample is an outlier
+    outlier_scale: float = 8.0  # outlier adds U(1, scale) * base seconds
+    floor: float = 1.0e-9  # timer resolution floor [s]
+
+    def __post_init__(self):
+        require_nonnegative(self.jitter_sigma, "jitter_sigma")
+        require_in_range(self.outlier_prob, "outlier_prob", 0.0, 0.5)
+        require_nonnegative(self.outlier_scale, "outlier_scale")
+        require_nonnegative(self.floor, "floor")
+
+    def sample(self, rng: np.random.Generator, base):
+        """Perturb ``base`` durations (scalar or array), returning same shape.
+
+        The log-normal factor is median-1 so central-tendency statistics of
+        samples recover the base duration.
+        """
+        base = np.asarray(base, dtype=float)
+        if np.any(base < 0):
+            raise ValueError("durations must be non-negative")
+        out = base * rng.lognormal(mean=0.0, sigma=self.jitter_sigma, size=base.shape)
+        if self.outlier_prob > 0.0:
+            hits = rng.random(base.shape) < self.outlier_prob
+            if np.any(hits):
+                spikes = rng.uniform(1.0, max(1.0, self.outlier_scale), size=base.shape)
+                out = out + np.where(hits, spikes * base, 0.0)
+        return np.maximum(out, self.floor)
+
+    def sample_scalar(self, rng: np.random.Generator, base: float) -> float:
+        return float(self.sample(rng, np.asarray(base, dtype=float)))
+
+
+QUIET = NoiseModel(jitter_sigma=0.0, outlier_prob=0.0, floor=0.0)

@@ -1,0 +1,97 @@
+"""The original BSP performance model (§3.1, Bisseling's notation).
+
+Four scalars describe the machine: parallelism ``p``, computation rate
+``r`` (flop/s), router throughput ``g`` (flop per word of an h-relation),
+and synchronisation cost ``l`` (flop).  Program costs are written in flop
+equivalents:
+
+    h            = max(h_send, h_recv)                       (Eq. 3.1)
+    T_comm(h)    = h * g + l                                 (Eq. 3.2)
+    T_comp(w)    = w + l                                     (Eq. 3.3)
+
+and the two-superstep inner product of §3.1 costs
+
+    T_total = (2N/p + l + g + l + p) / r                     (Eq. 3.7)
+
+This model is implemented exactly so Chapter 3's misprediction experiment
+(Fig. 3.2) can be replayed against the revised framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_int, require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class ClassicBSPParams:
+    """bspbench's machine characterisation for one process count."""
+
+    p: int  # parallelism
+    r: float  # computation rate [flop/s]
+    g: float  # throughput cost [flop/word]
+    l: float  # synchronisation cost [flop]
+
+    def __post_init__(self):
+        require_int(self.p, "p")
+        if self.p < 1:
+            raise ValueError("p must be >= 1")
+        require_positive(self.r, "r")
+        require_nonnegative(self.g, "g")
+        require_nonnegative(self.l, "l")
+
+
+def h_relation(h_send: int, h_recv: int) -> int:
+    """Eq. 3.1: the h of an h-relation is the larger word count."""
+    h_send = require_int(h_send, "h_send")
+    h_recv = require_int(h_recv, "h_recv")
+    if min(h_send, h_recv) < 0:
+        raise ValueError("word counts must be >= 0")
+    return max(h_send, h_recv)
+
+
+def comm_cost_flops(params: ClassicBSPParams, h: int) -> float:
+    """Eq. 3.2 in flop equivalents."""
+    h = require_int(h, "h")
+    if h < 0:
+        raise ValueError("h must be >= 0")
+    return h * params.g + params.l
+
+
+def comp_cost_flops(params: ClassicBSPParams, w: float) -> float:
+    """Eq. 3.3 in flop equivalents."""
+    require_nonnegative(w, "w")
+    return w + params.l
+
+
+def superstep_seconds(params: ClassicBSPParams, w: float, h: int) -> float:
+    """One full superstep (compute + communicate) in seconds."""
+    return (comp_cost_flops(params, w) + comm_cost_flops(params, h)) / params.r
+
+
+def inner_product_cost_seconds(params: ClassicBSPParams, n_total: int) -> float:
+    """Eq. 3.7: bspinprod's predicted strong-scaling cost in seconds.
+
+    Two computation steps (local products, global accumulation) around a
+    1-relation scatter of the local sums.
+    """
+    n_total = require_int(n_total, "n_total")
+    if n_total < 1:
+        raise ValueError("n_total must be >= 1")
+    comp1 = (n_total / params.p) * 2.0  # Eq. 3.4
+    comm = 1.0 * params.g + params.l  # Eq. 3.5 (1-relation)
+    comp2 = float(params.p)  # Eq. 3.6
+    total_flops = comp1 + params.l + comm + comp2
+    return total_flops / params.r
+
+
+def inner_product_sweep(
+    params_by_p: dict[int, ClassicBSPParams], n_total: int
+) -> list[tuple[int, float]]:
+    """Predicted cost for each benchmarked parallelism — the estimate
+    series of Fig. 3.2."""
+    return [
+        (p, inner_product_cost_seconds(params, n_total))
+        for p, params in sorted(params_by_p.items())
+    ]

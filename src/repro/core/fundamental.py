@@ -1,0 +1,73 @@
+"""The fundamental equation of modeling (§1.2, Eqs. 1.1-1.4).
+
+Barker et al.'s decomposition
+
+    T_total = T_compute + T_communicate - T_overlap            (Eq. 1.1)
+
+is specialised to bulk-synchronous supersteps by splitting both compute and
+communication into maskable and non-maskable parts:
+
+    T_total = (T_comp - T'_comp) + (T_comm - T'_comm)
+              + max(T'_comp, T'_comm) + T_sync                 (Eq. 1.4)
+
+All helpers are vectorised: scalars model one process, arrays model the
+per-process superstep vectors of the matrix framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SuperstepTerms:
+    """The Eq. 1.4 ingredients for one superstep (scalars or P-vectors)."""
+
+    t_comp: np.ndarray
+    t_comm: np.ndarray
+    t_comp_maskable: np.ndarray
+    t_comm_maskable: np.ndarray
+    t_sync: np.ndarray
+
+    def __post_init__(self):
+        for name in ("t_comp", "t_comm", "t_comp_maskable", "t_comm_maskable", "t_sync"):
+            value = np.asarray(getattr(self, name), dtype=float)
+            if np.any(value < 0):
+                raise ValueError(f"{name} must be non-negative")
+            object.__setattr__(self, name, value)
+        if np.any(self.t_comp_maskable > self.t_comp + 1e-15):
+            raise ValueError("maskable compute exceeds total compute")
+        if np.any(self.t_comm_maskable > self.t_comm + 1e-15):
+            raise ValueError("maskable communication exceeds total communication")
+
+
+def total_time(terms: SuperstepTerms) -> np.ndarray:
+    """Eq. 1.4: sequential parts, overlapped region, and the sync fence."""
+    nonmask_comp = terms.t_comp - terms.t_comp_maskable  # Eq. 1.3
+    nonmask_comm = terms.t_comm - terms.t_comm_maskable  # Eq. 1.2
+    overlapped = np.maximum(terms.t_comp_maskable, terms.t_comm_maskable)
+    return nonmask_comp + nonmask_comm + overlapped + terms.t_sync
+
+
+def overlap_saving(terms: SuperstepTerms) -> np.ndarray:
+    """T_overlap of Eq. 1.1: time hidden by running compute and
+    communication concurrently, ``min`` of the two maskable parts."""
+    return np.minimum(terms.t_comp_maskable, terms.t_comm_maskable)
+
+
+def derived_overlap(t_comp, t_comm, t_total, t_sync=0.0) -> np.ndarray:
+    """Eq. 3.16 read experimentally: given measured totals, estimate the
+    workload successfully carried out in the background."""
+    t_comp = np.asarray(t_comp, dtype=float)
+    t_comm = np.asarray(t_comm, dtype=float)
+    t_total = np.asarray(t_total, dtype=float)
+    return t_comp + t_comm + np.asarray(t_sync, dtype=float) - t_total
+
+
+def perfect_overlap_bound(t_comp, t_comm) -> np.ndarray:
+    """Lower bound on superstep body time with perfect overlap: the larger
+    of the two requirements (Bisseling's observation that overlap buys at
+    most a factor of two)."""
+    return np.maximum(np.asarray(t_comp, dtype=float), np.asarray(t_comm, dtype=float))

@@ -1,0 +1,175 @@
+"""The matrix modeling framework (§3.3-§3.5).
+
+The thesis replaces classic BSP's scalar parameters with matrices:
+
+* **Computation** (§3.3): a ``P x K`` requirement matrix ``R`` (how much of
+  each kernel every process runs) and a ``P x K`` cost matrix ``C``
+  (benchmarked seconds per requirement unit per process).  Superstep times
+  are the row sums of the element-wise product:
+
+      t = (R ⊗ C) · 1                                        (Eq. 3.13)
+
+* **Communication** (§3.4): pairwise requirement matrices (message counts
+  and data volumes) against pairwise cost matrices (latencies and inverse
+  bandwidths) — the heterogeneous Hockney model of Eq. 3.15's second term.
+
+* **Overlap** (§3.5): combining both and comparing against totals yields
+  the collective overlap property (Eq. 3.16).
+
+Keeping requirements and costs in separate matrices is the point: a program
+model (R) can be evaluated against any platform profile (C) and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require_matrix
+
+
+@dataclass(frozen=True)
+class ComputationModel:
+    """R/C matrices for the computation side of a superstep.
+
+    ``requirements[p, k]`` — units of kernel ``k`` process ``p`` must run
+    (elements, bytes, or applications; any unit, as long as ``costs`` is
+    seconds per that unit).
+    ``costs[p, k]`` — benchmarked seconds per unit for kernel ``k`` on the
+    processor hosting ``p``.
+    """
+
+    requirements: np.ndarray
+    costs: np.ndarray
+    kernel_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        req = require_matrix(self.requirements, "requirements")
+        cost = require_matrix(self.costs, "costs", req.shape)
+        if np.any(req < 0) or np.any(cost < 0):
+            raise ValueError("requirements and costs must be non-negative")
+        object.__setattr__(self, "requirements", req)
+        object.__setattr__(self, "costs", cost)
+        if self.kernel_names and len(self.kernel_names) != req.shape[1]:
+            raise ValueError("kernel_names length must match matrix columns")
+
+    @property
+    def nprocs(self) -> int:
+        return self.requirements.shape[0]
+
+    def superstep_times(self) -> np.ndarray:
+        """Eq. 3.13: per-process compute time, t = (R ⊗ C) · 1."""
+        return (self.requirements * self.costs).sum(axis=1)
+
+    def load_imbalance(self) -> float:
+        """Spread of the superstep time vector (§3.3's imbalance measure):
+        max(t) - min(t), the exposed wait at the closing synchronisation."""
+        t = self.superstep_times()
+        return float(t.max() - t.min()) if t.size else 0.0
+
+    def cross_mapping_costs(self) -> np.ndarray:
+        """The §3.3 remark: ``R @ C.T`` evaluates every process's
+        requirement on every processor's capability; the diagonal is the
+        actual assignment, off-diagonal entries price alternative task
+        mappings."""
+        return self.requirements @ self.costs.T
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Pairwise requirement/cost matrices for superstep communication.
+
+    Requirements: ``message_counts[i, j]`` point-to-point messages and
+    ``volumes[i, j]`` payload bytes committed from i to j.
+    Costs: ``latencies[i, j]`` seconds per message and
+    ``inv_bandwidths[i, j]`` seconds per byte (the heterogeneous Hockney
+    matrices of §3.4).
+    """
+
+    message_counts: np.ndarray
+    volumes: np.ndarray
+    latencies: np.ndarray
+    inv_bandwidths: np.ndarray
+
+    def __post_init__(self):
+        counts = require_matrix(self.message_counts, "message_counts")
+        p = counts.shape[0]
+        if counts.shape != (p, p):
+            raise ValueError("message_counts must be square")
+        volumes = require_matrix(self.volumes, "volumes", (p, p))
+        lat = require_matrix(self.latencies, "latencies", (p, p))
+        beta = require_matrix(self.inv_bandwidths, "inv_bandwidths", (p, p))
+        for name, arr in (
+            ("message_counts", counts),
+            ("volumes", volumes),
+            ("latencies", lat),
+            ("inv_bandwidths", beta),
+        ):
+            if np.any(arr < 0):
+                raise ValueError(f"{name} must be non-negative")
+        object.__setattr__(self, "message_counts", counts)
+        object.__setattr__(self, "volumes", volumes)
+        object.__setattr__(self, "latencies", lat)
+        object.__setattr__(self, "inv_bandwidths", beta)
+
+    @property
+    def nprocs(self) -> int:
+        return self.message_counts.shape[0]
+
+    def superstep_times(self) -> np.ndarray:
+        """Eq. 3.15 communication term: per-process send-side time,
+        ``(R_messages ⊗ C_latency + R_data ⊗ C_beta) · 1``."""
+        latency_part = self.message_counts * self.latencies
+        volume_part = self.volumes * self.inv_bandwidths
+        return (latency_part + volume_part).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class SuperstepModel:
+    """One superstep's combined computation + communication model (§3.5)."""
+
+    computation: ComputationModel
+    communication: CommunicationModel
+    sync_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.computation.nprocs != self.communication.nprocs:
+            raise ValueError("computation and communication sizes differ")
+        if self.sync_cost < 0:
+            raise ValueError("sync_cost must be >= 0")
+
+    @property
+    def nprocs(self) -> int:
+        return self.computation.nprocs
+
+    def compute_times(self) -> np.ndarray:
+        return self.computation.superstep_times()
+
+    def comm_times(self) -> np.ndarray:
+        return self.communication.superstep_times()
+
+    def combined_times(self) -> np.ndarray:
+        """Eq. 3.15: t_compute + t_communicate per process."""
+        return self.compute_times() + self.comm_times()
+
+    def overlap(self, total_times) -> np.ndarray:
+        """Eq. 3.16: t_overlap = t_compute + t_communicate - t_total,
+        evaluated against measured (or simulated) per-process totals."""
+        total_times = np.asarray(total_times, dtype=float)
+        if total_times.shape != (self.nprocs,):
+            raise ValueError("total_times must be a P-vector")
+        return self.combined_times() - total_times
+
+    def predict_total(self, comm_maskable_fraction: float = 1.0) -> float:
+        """Superstep wall time assuming a fraction of communication can run
+        in the background (Fig. 1.2's early-commit processing model): the
+        slowest process bounds the step, plus the synchronisation fence."""
+        if not 0.0 <= comm_maskable_fraction <= 1.0:
+            raise ValueError("comm_maskable_fraction must be in [0, 1]")
+        comp = self.compute_times()
+        comm = self.comm_times()
+        masked = comm * comm_maskable_fraction
+        exposed = comm - masked
+        per_proc = np.maximum(comp, masked) + exposed
+        return float(per_proc.max()) + self.sync_cost

@@ -1,0 +1,108 @@
+"""Multi-superstep program models (Ch. 3 composed over a whole program).
+
+A bulk-synchronous program is a sequence of supersteps, each with its own
+requirement matrices; the program model aggregates per-superstep Eq. 1.4
+predictions into whole-program estimates and exposes the overlap and
+imbalance structure step by step.  This is the level at which the Chapter 8
+predictor reasons about iterative applications: one modelled superstep,
+repeated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.matrix_model import SuperstepModel
+from repro.util.validation import require_int
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One superstep plus its repetition count (e.g. solver iterations)."""
+
+    model: SuperstepModel
+    repetitions: int = 1
+    label: str = ""
+
+    def __post_init__(self):
+        require_int(self.repetitions, "repetitions")
+        if self.repetitions < 0:
+            raise ValueError("repetitions must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProgramModel:
+    """An ordered collection of modelled supersteps."""
+
+    steps: tuple[ProgramStep, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("a program needs at least one step")
+        nprocs = {step.model.nprocs for step in self.steps}
+        if len(nprocs) != 1:
+            raise ValueError("all supersteps must share the process count")
+
+    @property
+    def nprocs(self) -> int:
+        return self.steps[0].model.nprocs
+
+    @property
+    def total_supersteps(self) -> int:
+        return sum(step.repetitions for step in self.steps)
+
+    def predict_total(self, comm_maskable_fraction: float = 1.0) -> float:
+        """Whole-program wall-time estimate: per-step Eq. 1.4 totals summed
+        over repetitions."""
+        return float(
+            sum(
+                step.repetitions
+                * step.model.predict_total(comm_maskable_fraction)
+                for step in self.steps
+            )
+        )
+
+    def predicted_overlap_saving(self) -> float:
+        """Program-level gain of perfect background communication vs fully
+        exposed communication — the budget the Fig. 1.2 revision plays for."""
+        return self.predict_total(0.0) - self.predict_total(1.0)
+
+    def step_breakdown(self, comm_maskable_fraction: float = 1.0) -> list[dict]:
+        """Per-step report rows: label, repetitions, one-step cost, share."""
+        total = self.predict_total(comm_maskable_fraction)
+        rows = []
+        for idx, step in enumerate(self.steps):
+            once = step.model.predict_total(comm_maskable_fraction)
+            cost = once * step.repetitions
+            rows.append(
+                {
+                    "index": idx,
+                    "label": step.label or f"step-{idx}",
+                    "repetitions": step.repetitions,
+                    "per_step_seconds": once,
+                    "total_seconds": cost,
+                    "share": cost / total if total > 0 else 0.0,
+                }
+            )
+        return rows
+
+    def bottleneck_step(self) -> ProgramStep:
+        """The step contributing the most predicted time."""
+        return max(
+            self.steps,
+            key=lambda s: s.repetitions * s.model.predict_total(),
+        )
+
+    def imbalance_profile(self) -> np.ndarray:
+        """Per-step compute imbalance (max - min of the t vector) — where
+        the synchronisation fence exposes waiting (§3.3)."""
+        return np.array(
+            [step.model.computation.load_imbalance() for step in self.steps]
+        )
+
+
+def iterate(model: SuperstepModel, iterations: int, label: str = "iteration") -> ProgramModel:
+    """Shortcut for the common iterative-application shape."""
+    return ProgramModel(steps=(ProgramStep(model, iterations, label),))

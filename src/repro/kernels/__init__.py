@@ -1,0 +1,55 @@
+"""Numerical kernels: model-facing characteristics + executable NumPy bodies."""
+
+from repro.kernels.base import Kernel, KernelRegistry
+from repro.kernels.numeric import (
+    DAXPY,
+    VSUB,
+    DOT_PRODUCT,
+    STENCIL5,
+    STENCIL9,
+    NUMERIC_KERNELS,
+    apply_stencil5,
+    apply_stencil9,
+)
+from repro.kernels.blas import (
+    BLAS_L1_KERNELS,
+    SSWAP,
+    SSCAL,
+    SCOPY,
+    SAXPY,
+    SDOT,
+    SNRM2,
+    SASUM,
+    ISAMAX,
+)
+from repro.kernels.blas23 import BLAS_L2_KERNELS, DGEMV, DGER, dgemm_panel
+from repro.kernels.registry import DEFAULT_REGISTRY, get_kernel, kernel_names
+
+__all__ = [
+    "Kernel",
+    "KernelRegistry",
+    "DAXPY",
+    "VSUB",
+    "DOT_PRODUCT",
+    "STENCIL5",
+    "STENCIL9",
+    "NUMERIC_KERNELS",
+    "apply_stencil5",
+    "apply_stencil9",
+    "BLAS_L1_KERNELS",
+    "SSWAP",
+    "SSCAL",
+    "SCOPY",
+    "SAXPY",
+    "SDOT",
+    "SNRM2",
+    "SASUM",
+    "ISAMAX",
+    "BLAS_L2_KERNELS",
+    "DGEMV",
+    "DGER",
+    "dgemm_panel",
+    "DEFAULT_REGISTRY",
+    "get_kernel",
+    "kernel_names",
+]

@@ -1,0 +1,122 @@
+"""Single-precision Level-1 BLAS kernel set (§4.2, Figs. 4.5-4.6).
+
+The thesis sweeps these eight vector/vector routines over growing problem
+sizes on an Athlon X2 to expose the memory-hierarchy nonlinearity.  The
+``operand_arrays`` factor (1 for scalar/vector, 2 for vector/vector
+operations) reproduces the thesis's choice of plotting against *memory use
+in bytes* so e.g. ``sscal`` and ``saxpy`` parameter values are comparable.
+
+Characteristics per element (single precision, 4-byte words):
+
+=======  =====  ====  =====  =======
+kernel   flops  read  write  vectors
+=======  =====  ====  =====  =======
+sswap      0      8      8      2
+sscal      1      4      4      1
+scopy      0      4      4      2
+saxpy      2      8      4      2
+sdot       2      8      0      2
+snrm2      2      4      0      1
+sasum      1      4      0      1
+isamax     1      4      0      1
+=======  =====  ====  =====  =======
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+_F32 = np.dtype(np.float32)
+
+
+def _one_vec(n: int, rng: np.random.Generator) -> tuple:
+    return (rng.standard_normal(n).astype(np.float32),)
+
+
+def _two_vec(n: int, rng: np.random.Generator) -> tuple:
+    return (
+        rng.standard_normal(n).astype(np.float32),
+        rng.standard_normal(n).astype(np.float32),
+    )
+
+
+def _two_vec_alpha(n: int, rng: np.random.Generator) -> tuple:
+    return (np.float32(1.0009), *_two_vec(n, rng))
+
+
+def _apply_sswap(ops):
+    x, y = ops
+    tmp = x.copy()
+    x[:] = y
+    y[:] = tmp
+    return x
+
+
+def _apply_sscal(ops):
+    (x,) = ops
+    x *= np.float32(1.0001)
+    return x
+
+
+def _apply_scopy(ops):
+    x, y = ops
+    y[:] = x
+    return y
+
+
+def _apply_saxpy(ops):
+    a, x, y = ops
+    y += a * x
+    return y
+
+
+def _apply_sdot(ops):
+    x, y = ops
+    return float(x @ y)
+
+
+def _apply_snrm2(ops):
+    (x,) = ops
+    return float(np.sqrt(np.dot(x, x)))
+
+
+def _apply_sasum(ops):
+    (x,) = ops
+    return float(np.abs(x).sum())
+
+
+def _apply_isamax(ops):
+    (x,) = ops
+    return int(np.argmax(np.abs(x)))
+
+
+def _blas(name, flops, read, write, vecs, make, apply_fn, fma=False, desc=""):
+    return Kernel(
+        name=name,
+        flops_per_element=flops,
+        read_bytes_per_element=read,
+        write_bytes_per_element=write,
+        operand_arrays=vecs,
+        dtype=_F32,
+        make_operands=make,
+        apply=apply_fn,
+        fma_eligible=fma,
+        description=desc,
+    )
+
+
+SSWAP = _blas("sswap", 0.0, 8.0, 8.0, 2, _two_vec, _apply_sswap, desc="x <-> y")
+SSCAL = _blas("sscal", 1.0, 4.0, 4.0, 1, _one_vec, _apply_sscal, desc="x <- a*x")
+SCOPY = _blas("scopy", 0.0, 4.0, 4.0, 2, _two_vec, _apply_scopy, desc="y <- x")
+SAXPY = _blas("saxpy", 2.0, 8.0, 4.0, 2, _two_vec_alpha, _apply_saxpy, fma=True,
+              desc="y <- y + a*x")
+SDOT = _blas("sdot", 2.0, 8.0, 0.0, 2, _two_vec, _apply_sdot, fma=True,
+             desc="dot(x, y)")
+SNRM2 = _blas("snrm2", 2.0, 4.0, 0.0, 1, _one_vec, _apply_snrm2, desc="||x||_2")
+SASUM = _blas("sasum", 1.0, 4.0, 0.0, 1, _one_vec, _apply_sasum, desc="sum |x_i|")
+ISAMAX = _blas("isamax", 1.0, 4.0, 0.0, 1, _one_vec, _apply_isamax,
+               desc="argmax |x_i|")
+
+BLAS_L1_KERNELS = (SSWAP, SSCAL, SCOPY, SAXPY, SDOT, SNRM2, SASUM, ISAMAX)

@@ -1,0 +1,132 @@
+"""Level-2/3 BLAS kernels — the §4.2 extension the thesis points to.
+
+"This could easily be extended to include double precision, as well as
+matrix/vector and matrix/matrix operations at levels 2 and 3."  Level-2/3
+routines differ from Level 1 in *numerical intensity*: the flops performed
+per element of streamed matrix data grow with the operand shape, so the
+per-element characteristics are parametric.  The factories below bake a
+shape parameter into a :class:`Kernel` whose per-element unit is **one
+matrix element of A**:
+
+* ``dgemv``       — y <- A x + y:  2 flops and ~8 bytes per A element;
+* ``dger``        — A <- A + x y^T: 2 flops, read+write per A element;
+* ``dgemm_panel(p)`` — C <- A B + C with a p-column B panel: 2p flops per
+  A element, amortising the stream — the knob that walks a kernel from
+  memory-bound to compute-bound, which is exactly what makes single-number
+  processor ratings meaningless across BLAS levels (§3.3, §4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.util.validation import require_int
+
+_F64 = np.dtype(np.float64)
+
+
+def _square_side(n: int) -> int:
+    side = int(round(np.sqrt(n)))
+    if side * side != n:
+        raise ValueError(f"matrix kernels need a square element count, got {n}")
+    return side
+
+
+def _make_dgemv(n: int, rng: np.random.Generator) -> tuple:
+    side = _square_side(n)
+    a = rng.standard_normal((side, side))
+    x = rng.standard_normal(side)
+    y = rng.standard_normal(side)
+    return (a, x, y)
+
+
+def _apply_dgemv(ops):
+    a, x, y = ops
+    y += a @ x
+    return y
+
+
+DGEMV = Kernel(
+    name="dgemv",
+    flops_per_element=2.0,
+    read_bytes_per_element=8.0,  # A streamed once; x/y stay resident
+    write_bytes_per_element=0.0,
+    operand_arrays=1,
+    dtype=_F64,
+    make_operands=_make_dgemv,
+    apply=_apply_dgemv,
+    fma_eligible=True,
+    description="y <- A x + y (L2 BLAS; unit = one A element)",
+)
+
+
+def _make_dger(n: int, rng: np.random.Generator) -> tuple:
+    side = _square_side(n)
+    a = rng.standard_normal((side, side))
+    x = rng.standard_normal(side)
+    y = rng.standard_normal(side)
+    return (a, x, y)
+
+
+def _apply_dger(ops):
+    a, x, y = ops
+    a += np.outer(x, y)
+    return a
+
+
+DGER = Kernel(
+    name="dger",
+    flops_per_element=2.0,
+    read_bytes_per_element=8.0,
+    write_bytes_per_element=8.0,  # A is updated in place
+    operand_arrays=1,
+    dtype=_F64,
+    make_operands=_make_dger,
+    apply=_apply_dger,
+    fma_eligible=True,
+    description="A <- A + x y^T (L2 BLAS rank-1 update)",
+)
+
+
+def dgemm_panel(panel_cols: int) -> Kernel:
+    """C <- A B + C against a ``panel_cols``-column B panel.
+
+    Per element of A: ``2 * panel_cols`` flops against 8 streamed bytes —
+    numerical intensity grows linearly with the panel width, so wide
+    panels are compute-bound where dgemv is bandwidth-bound.
+    """
+    panel_cols = require_int(panel_cols, "panel_cols")
+    if panel_cols < 1:
+        raise ValueError("panel_cols must be >= 1")
+
+    def make(n: int, rng: np.random.Generator) -> tuple:
+        side = _square_side(n)
+        a = rng.standard_normal((side, side))
+        b = rng.standard_normal((side, panel_cols))
+        c = rng.standard_normal((side, panel_cols))
+        return (a, b, c)
+
+    def apply(ops):
+        a, b, c = ops
+        c += a @ b
+        return c
+
+    return Kernel(
+        name=f"dgemm-p{panel_cols}",
+        flops_per_element=2.0 * panel_cols,
+        read_bytes_per_element=8.0,
+        write_bytes_per_element=0.0,  # C panel stays cache-resident
+        operand_arrays=1,
+        dtype=_F64,
+        make_operands=make,
+        apply=apply,
+        fma_eligible=True,
+        description=(
+            f"C <- A B + C with a {panel_cols}-column panel "
+            "(L3 BLAS; unit = one A element)"
+        ),
+    )
+
+
+BLAS_L2_KERNELS = (DGEMV, DGER)

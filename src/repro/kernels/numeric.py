@@ -1,0 +1,174 @@
+"""Double-precision kernels used throughout the thesis experiments.
+
+``daxpy`` is bspbench's rate kernel (§3.1); ``stencil5`` is the 5-point
+Laplacian kernel of the benchmark comparison (§4.1) and the Chapter 8 case
+study; ``vsub`` is the §3.3 worked example of heterogeneous requirements;
+``dot_product`` is the bspinprod computation kernel.
+
+Per-element characteristics (used by the rate model):
+
+=============  =====  ==========  ===========
+kernel         flops  read bytes  write bytes
+=============  =====  ==========  ===========
+daxpy            2        16           8
+vsub             1        16           8
+dot_product      2        16           0
+stencil5         6        16           8
+=============  =====  ==========  ===========
+
+The stencil's neighbour loads mostly hit cache lines already fetched for the
+row sweep, so its modelled traffic is one read stream plus one write stream,
+while its flop density is 3x daxpy's — which is exactly why extrapolating a
+DAXPY Mflop/s figure mispredicts it (Fig. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+def _make_daxpy(n: int, rng: np.random.Generator) -> tuple:
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    return (2.0, x, y)
+
+
+def _apply_daxpy(operands: tuple):
+    a, x, y = operands
+    # In-place update keeps the working set at two vectors.
+    y += a * x
+    return y
+
+
+DAXPY = Kernel(
+    name="daxpy",
+    flops_per_element=2.0,
+    read_bytes_per_element=16.0,
+    write_bytes_per_element=8.0,
+    operand_arrays=2,
+    dtype=np.dtype(np.float64),
+    make_operands=_make_daxpy,
+    apply=_apply_daxpy,
+    fma_eligible=True,
+    description="y <- y + a*x (L1 BLAS DAXPY, bspbench rate kernel)",
+)
+
+
+def _make_vsub(n: int, rng: np.random.Generator) -> tuple:
+    return (rng.standard_normal(n), rng.standard_normal(n))
+
+
+def _apply_vsub(operands: tuple):
+    x, y = operands
+    y -= x
+    return y
+
+
+VSUB = Kernel(
+    name="vsub",
+    flops_per_element=1.0,
+    read_bytes_per_element=16.0,
+    write_bytes_per_element=8.0,
+    operand_arrays=2,
+    dtype=np.dtype(np.float64),
+    make_operands=_make_vsub,
+    apply=_apply_vsub,
+    description="y <- y - x (the second §3.3 example kernel)",
+)
+
+
+def _make_dot(n: int, rng: np.random.Generator) -> tuple:
+    return (rng.standard_normal(n), rng.standard_normal(n))
+
+
+def _apply_dot(operands: tuple):
+    x, y = operands
+    return float(x @ y)
+
+
+DOT_PRODUCT = Kernel(
+    name="dot_product",
+    flops_per_element=2.0,
+    read_bytes_per_element=16.0,
+    write_bytes_per_element=0.0,
+    operand_arrays=2,
+    dtype=np.dtype(np.float64),
+    make_operands=_make_dot,
+    apply=_apply_dot,
+    fma_eligible=True,
+    description="local inner product (bspinprod computation step)",
+)
+
+
+def _stencil_side(n: int) -> int:
+    """Interior side length for an n-interior-point square stencil grid."""
+    side = int(round(np.sqrt(n)))
+    if side * side != n:
+        raise ValueError(f"stencil5 needs a square element count, got {n}")
+    return side
+
+
+def _make_stencil5(n: int, rng: np.random.Generator) -> tuple:
+    side = _stencil_side(n)
+    u = rng.standard_normal((side + 2, side + 2))
+    out = np.zeros_like(u)
+    return (u, out)
+
+
+def apply_stencil5(operands: tuple):
+    """One Jacobi sweep of the 5-point Laplacian over the grid interior."""
+    u, out = operands
+    out[1:-1, 1:-1] = 0.25 * (
+        u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+    )
+    return out
+
+
+STENCIL5 = Kernel(
+    name="stencil5",
+    flops_per_element=6.0,
+    read_bytes_per_element=16.0,
+    write_bytes_per_element=8.0,
+    operand_arrays=2,
+    dtype=np.dtype(np.float64),
+    make_operands=_make_stencil5,
+    apply=apply_stencil5,
+    description="5-point Laplacian Jacobi sweep over a square interior",
+)
+
+def apply_stencil9(operands: tuple):
+    """One sweep of the 9-point (Moore neighbourhood) stencil."""
+    u, out = operands
+    out[1:-1, 1:-1] = (
+        0.125
+        * (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        )
+        + 0.0625
+        * (
+            u[:-2, :-2] + u[:-2, 2:] + u[2:, :-2] + u[2:, 2:]
+        )
+        + 0.25 * u[1:-1, 1:-1]
+    )
+    return out
+
+
+STENCIL9 = Kernel(
+    name="stencil9",
+    flops_per_element=14.0,
+    read_bytes_per_element=16.0,
+    write_bytes_per_element=8.0,
+    operand_arrays=2,
+    dtype=np.dtype(np.float64),
+    make_operands=_make_stencil5,  # same padded-square operand shape
+    apply=apply_stencil9,
+    description=(
+        "9-point Moore-neighbourhood sweep (§9.2.3 'range of applications' "
+        "extension: higher flop density, same traffic, and — unlike the "
+        "5-point kernel — corner ghost cells become load-bearing)"
+    ),
+)
+
+NUMERIC_KERNELS = (DAXPY, VSUB, DOT_PRODUCT, STENCIL5, STENCIL9)

@@ -1,0 +1,21 @@
+"""Default kernel registry holding all thesis kernels."""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel, KernelRegistry
+from repro.kernels.blas import BLAS_L1_KERNELS
+from repro.kernels.blas23 import BLAS_L2_KERNELS
+from repro.kernels.numeric import NUMERIC_KERNELS
+
+DEFAULT_REGISTRY = KernelRegistry()
+for _kernel in (*NUMERIC_KERNELS, *BLAS_L1_KERNELS, *BLAS_L2_KERNELS):
+    DEFAULT_REGISTRY.register(_kernel)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name in the default registry."""
+    return DEFAULT_REGISTRY.get(name)
+
+
+def kernel_names() -> list[str]:
+    return DEFAULT_REGISTRY.names()

@@ -1,0 +1,40 @@
+"""Per-process virtual clocks for the BSPlib runtime (Ch. 6).
+
+BSP processes accumulate *virtual* seconds: computation advances a clock by
+the machine's kernel-time model; the superstep scheduler aligns clocks at
+synchronization.  ``bsp_time`` reads this clock, so application timings in
+examples and experiments are simulated-platform seconds, not wall time.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_nonnegative
+
+
+class VirtualClock:
+    """Monotonically advancing virtual time in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = require_nonnegative(start, "start")
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move forward by ``dt`` seconds; returns the new time."""
+        dt = require_nonnegative(dt, "dt")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time ``t`` (no-op if already past)."""
+        require_nonnegative(t, "t")
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.9f})"

@@ -1,0 +1,112 @@
+"""Roofline-flavoured kernel execution-time model (Ch. 4 ground truth).
+
+A kernel application over ``n`` elements on one core costs
+
+    invocation_overhead + n * (flop_time_per_element + memory_time_per_element)
+
+where the memory term picks the bandwidth of the cache level that holds the
+working set.  This makes the *sustained* per-element time a step function of
+the footprint — the piecewise-linear behaviour the thesis measures in
+Figs. 4.5/4.6 — while staying linear in iteration count for a fixed
+footprint, which is the property Chapter 4 needs for its regression-based
+rate extraction.
+
+Cores flagged ``multiply_accumulate`` execute FMA-eligible kernels at half
+flop cost, reproducing the §3.3 worked example of processor-design
+heterogeneity.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.params import CoreParams
+from repro.kernels.base import Kernel
+from repro.util.validation import require_int, require_nonnegative, require_positive
+
+
+def time_per_element(
+    kernel: Kernel,
+    core: CoreParams,
+    footprint_bytes: float,
+    rate_scale: float = 1.0,
+) -> float:
+    """Steady-state seconds per element for a given working-set size."""
+    require_nonnegative(footprint_bytes, "footprint_bytes")
+    require_positive(rate_scale, "rate_scale")
+    flop_rate = core.flop_rate * rate_scale
+    flops = kernel.flops_per_element
+    if core.multiply_accumulate and kernel.fma_eligible:
+        flops *= 0.5
+    flop_time = flops / flop_rate
+    effective_bytes = (
+        kernel.read_bytes_per_element
+        + core.write_allocate_factor * kernel.write_bytes_per_element
+    )
+    mem_time = effective_bytes / core.bandwidth_for_footprint(footprint_bytes)
+    return flop_time + mem_time
+
+
+def application_time(
+    kernel: Kernel,
+    core: CoreParams,
+    n: int,
+    reps: int = 1,
+    rate_scale: float = 1.0,
+    footprint_bytes: float | None = None,
+) -> float:
+    """Clean (noise-free) seconds for ``reps`` applications on ``n`` elements.
+
+    ``footprint_bytes`` defaults to the kernel's own memory-use metric; the
+    caller may override it, e.g. when a kernel touches a window of a larger
+    resident data set.
+    """
+    n = require_int(n, "n")
+    reps = require_int(reps, "reps")
+    if n < 0 or reps < 0:
+        raise ValueError("n and reps must be >= 0")
+    if footprint_bytes is None:
+        footprint_bytes = kernel.memory_use(n)
+    per_elem = time_per_element(kernel, core, footprint_bytes, rate_scale)
+    return core.invocation_overhead * reps + reps * n * per_elem
+
+
+def steady_rate_flops(
+    kernel: Kernel,
+    core: CoreParams,
+    footprint_bytes: float,
+    rate_scale: float = 1.0,
+) -> float:
+    """Sustained flop/s at a given footprint (0 for zero-flop kernels)."""
+    if kernel.flops_per_element == 0.0:
+        return 0.0
+    per_elem = time_per_element(kernel, core, footprint_bytes, rate_scale)
+    return kernel.flops_per_element / per_elem
+
+
+def footprint_knees(core: CoreParams) -> list[int]:
+    """Footprints (bytes) where the rate model changes gradient: the cache
+    level capacities.  Useful for piecewise-linear model segmentation (§4.3).
+    """
+    return [level.size_bytes for level in core.cache_levels]
+
+
+def piecewise_linear_segments(
+    kernel: Kernel,
+    core: CoreParams,
+    max_footprint: int,
+    rate_scale: float = 1.0,
+) -> list[tuple[int, int, float]]:
+    """Describe time-vs-footprint as ``(lo_bytes, hi_bytes, sec_per_byte)``
+    segments up to ``max_footprint`` — the §4.3 piecewise-linear reading of
+    the compute-rate surface."""
+    require_int(max_footprint, "max_footprint")
+    if max_footprint <= 0:
+        raise ValueError("max_footprint must be > 0")
+    bytes_per_elem = kernel.memory_use(1)
+    edges = [0] + [k for k in footprint_knees(core) if k < max_footprint]
+    edges.append(max_footprint)
+    segments = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        probe = max(hi, 1)
+        per_elem = time_per_element(kernel, core, probe, rate_scale)
+        segments.append((lo, hi, per_elem / bytes_per_elem))
+    return segments

@@ -1,0 +1,164 @@
+"""SimMachine: the facade bundling topology, ground truth and noise.
+
+Everything in the repository that "runs on hardware" runs on a SimMachine:
+benchmarks sample noisy durations from it, the event engine schedules
+messages over it, and the BSPlib runtime charges virtual time against it.
+All randomness flows through :meth:`SimMachine.rng` so that every experiment
+is reproducible from one machine seed plus a stream label.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.noise import NoiseModel
+from repro.cluster.params import ClusterParams
+from repro.cluster.topology import Placement, Relation, Topology
+from repro.kernels.base import Kernel
+from repro.machine import compute
+from repro.util.validation import require_int
+
+
+@dataclass(frozen=True)
+class CommTruth:
+    """Ground-truth pairwise communication matrices for one placement.
+
+    Indexed ``[source, destination]`` by rank.  The analytic model never sees
+    these; it sees benchmark estimates of them (repro.bench.comm_bench).
+    """
+
+    placement: Placement
+    latency: np.ndarray  # one-way wire latency [s]
+    start_overhead: np.ndarray  # marginal per-request start cost [s]
+    inv_bandwidth: np.ndarray  # [s/byte]
+    nic_gap: float
+    recv_overhead: float
+    invocation_overhead: float
+
+    @property
+    def nprocs(self) -> int:
+        return self.placement.nprocs
+
+
+class SimMachine:
+    """A simulated SMP cluster with a stable noise stream."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: ClusterParams,
+        noise: NoiseModel | None = None,
+        seed: int = 2012,
+    ):
+        self.topology = topology
+        self.params = params
+        self.noise = noise if noise is not None else NoiseModel()
+        self.seed = require_int(seed, "seed")
+
+    # ------------------------------------------------------------------ rng
+
+    def rng(self, *stream_key) -> np.random.Generator:
+        """Deterministic generator for a named stream of this machine."""
+        tokens = [self.seed & 0xFFFFFFFF]
+        for part in stream_key:
+            if isinstance(part, (int, np.integer)):
+                tokens.append(int(part) & 0xFFFFFFFF)
+            else:
+                tokens.append(zlib.crc32(str(part).encode()) & 0xFFFFFFFF)
+        return np.random.default_rng(np.random.SeedSequence(tokens))
+
+    # ------------------------------------------------------------ placement
+
+    def placement(self, nprocs: int, policy: str = "round_robin") -> Placement:
+        if policy == "round_robin":
+            return Placement.round_robin(self.topology, nprocs)
+        if policy == "block":
+            return Placement.block(self.topology, nprocs)
+        raise ValueError(f"unknown placement policy {policy!r}")
+
+    # -------------------------------------------------------- communication
+
+    def comm_truth(self, placement: Placement) -> CommTruth:
+        """Build the ground-truth pairwise matrices for a placement."""
+        if placement.topology is not self.topology:
+            # Accept structurally equal topologies (e.g. rebuilt presets).
+            if placement.topology != self.topology:
+                raise ValueError("placement belongs to a different topology")
+        rel = placement.relation_matrix()
+        p = placement.nprocs
+        latency = np.zeros((p, p))
+        start = np.zeros((p, p))
+        inv_bw = np.zeros((p, p))
+        for relation in Relation:
+            mask = rel == int(relation)
+            if not np.any(mask):
+                continue
+            link = self.params.link(relation)
+            latency[mask] = link.latency
+            start[mask] = link.start_overhead
+            inv_bw[mask] = link.inv_bandwidth
+        return CommTruth(
+            placement=placement,
+            latency=latency,
+            start_overhead=start,
+            inv_bandwidth=inv_bw,
+            nic_gap=self.params.nic_gap,
+            recv_overhead=self.params.recv_overhead,
+            invocation_overhead=self.params.invocation_overhead,
+        )
+
+    # -------------------------------------------------------------- compute
+
+    def rate_scale(self, core: int) -> float:
+        """Per-core flop-rate multiplier from the heterogeneity map (§3.3)."""
+        socket = self.topology.socket_of(core)
+        return float(self.params.socket_rate_scale.get(socket, 1.0))
+
+    def kernel_time_clean(
+        self,
+        core: int,
+        kernel: Kernel,
+        n: int,
+        reps: int = 1,
+        footprint_bytes: float | None = None,
+    ) -> float:
+        """Noise-free execution time of ``reps`` kernel applications."""
+        return compute.application_time(
+            kernel,
+            self.params.core,
+            n,
+            reps=reps,
+            rate_scale=self.rate_scale(core),
+            footprint_bytes=footprint_bytes,
+        )
+
+    def kernel_time(
+        self,
+        core: int,
+        kernel: Kernel,
+        n: int,
+        reps: int = 1,
+        rng: np.random.Generator | None = None,
+        footprint_bytes: float | None = None,
+    ) -> float:
+        """Sampled (noisy) execution time, as a timer would observe it."""
+        base = self.kernel_time_clean(core, kernel, n, reps, footprint_bytes)
+        if rng is None:
+            return base
+        return self.noise.sample_scalar(rng, base)
+
+    def describe(self) -> str:
+        return self.topology.describe()
+
+
+def make_machine(
+    topology: Topology,
+    params: ClusterParams,
+    noise: NoiseModel | None = None,
+    seed: int = 2012,
+) -> SimMachine:
+    """Convenience constructor mirroring the preset functions."""
+    return SimMachine(topology, params, noise=noise, seed=seed)

@@ -1,0 +1,17 @@
+"""Discrete-event message-passing engine for stage-structured patterns."""
+
+from repro.simmpi.engine import simulate_stages, stage_payload_matrix, StageEventTrace
+from repro.simmpi.requests import (
+    PersistentBarrier,
+    PersistentRequest,
+    StageRequests,
+)
+
+__all__ = [
+    "simulate_stages",
+    "stage_payload_matrix",
+    "StageEventTrace",
+    "PersistentBarrier",
+    "PersistentRequest",
+    "StageRequests",
+]

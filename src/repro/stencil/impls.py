@@ -1,0 +1,365 @@
+"""The Chapter 8 stencil implementations (§8.3).
+
+Four implementations of the same 5-point Jacobi iteration, matching the
+thesis's experimental subjects:
+
+* **BSP** — runs on the BSPlib runtime: per superstep, owned borders and
+  corners are computed first, committed to the neighbours' ghost buffers
+  immediately (early-commit overlap, Fig. 1.2), the deep interior is swept
+  while transfers stream, and ``bsp_sync`` fences the iteration.  This
+  implementation really computes: its grids converge like the serial code.
+* **MPI** — the conventional message-passing structure: compute the whole
+  block, then a postponed two-stage border exchange (horizontal, then
+  vertical — Fig. 8.3) with no overlap.
+* **MPI+R** — **[reconstructed]** the MPI code *R*estructured for overlap:
+  borders first, non-blocking exchange, interior computed while transfers
+  fly.
+* **Hybrid** — one rank per node with node-wide threaded compute and
+  inter-node exchanges only (§8.3.3).
+
+MPI-family implementations are cost models over the event engine (the
+numerics are identical to BSP's by construction, so only time differs);
+the BSP implementation supports both real numerics and charge-only mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bsplib.runtime import bsp_run
+from repro.cluster.topology import Placement
+from repro.kernels.numeric import STENCIL5
+from repro.machine.simmachine import SimMachine
+from repro.simmpi.engine import simulate_stages
+from repro.stencil.grid import LocalBlock, decompose
+from repro.stencil.regions import border_cell_count, interior_cell_count
+from repro.util.validation import require_int
+
+WORD = 8  # double-precision grid cells
+THREAD_BARRIER_BASE = 2.0e-6  # per-iteration node-internal thread fence [s]
+
+
+@dataclass(frozen=True)
+class StencilRunResult:
+    """Timing (and optionally field data) of one stencil run."""
+
+    name: str
+    nprocs: int
+    n: int
+    iterations: int
+    iteration_seconds: np.ndarray  # global duration per iteration
+    total_seconds: float
+    field: np.ndarray | None = None  # assembled global grid (BSP only)
+
+    @property
+    def mean_iteration(self) -> float:
+        return float(self.iteration_seconds.mean())
+
+
+def _footprint(block: LocalBlock) -> float:
+    """Working set of one rank's Jacobi sweep: two padded grids."""
+    return 2.0 * (block.height + 2) * (block.width + 2) * WORD
+
+
+# --------------------------------------------------------------------- BSP
+
+
+def run_bsp_stencil(
+    machine: SimMachine,
+    nprocs: int,
+    n: int,
+    iterations: int,
+    execute_numerics: bool = True,
+    noisy: bool = True,
+    initial=None,
+    label: str = "bsp-stencil",
+) -> StencilRunResult:
+    """The BSPlib implementation (§8.3.1) on the simulated platform."""
+    require_int(iterations, "iterations")
+    blocks = decompose(n, nprocs)
+    if min(b.height for b in blocks) < 3 or min(b.width for b in blocks) < 3:
+        raise ValueError("blocks must be at least 3x3 for the region split")
+
+    if initial is None:
+        rng = np.random.default_rng(1234)
+        initial = rng.standard_normal((n, n))
+    initial = np.asarray(initial, dtype=float)
+    if initial.shape != (n, n):
+        raise ValueError("initial field must be n x n")
+
+    def program(ctx):
+        block = blocks[ctx.pid]
+        h, w = block.height, block.width
+        u = np.zeros((h + 2, w + 2))
+        if execute_numerics:
+            u[1 : h + 1, 1 : w + 1] = initial[
+                block.global_row0 : block.global_row0 + h,
+                block.global_col0 : block.global_col0 + w,
+            ]
+        u_new = np.zeros_like(u)
+        ghost_n = np.zeros(w)
+        ghost_s = np.zeros(w)
+        ghost_e = np.zeros(h)
+        ghost_w = np.zeros(h)
+        for buf in (ghost_n, ghost_s, ghost_e, ghost_w):
+            ctx.push_reg(buf)
+        ctx.sync()
+
+        def put_borders(grid):
+            """Commit the owned border ring to the neighbours' ghosts."""
+            if block.north is not None:
+                ctx.put(block.north, np.ascontiguousarray(grid[1, 1 : w + 1]),
+                        ghost_s)
+            if block.south is not None:
+                ctx.put(block.south, np.ascontiguousarray(grid[h, 1 : w + 1]),
+                        ghost_n)
+            if block.east is not None:
+                ctx.put(block.east, np.ascontiguousarray(grid[1 : h + 1, w]),
+                        ghost_w)
+            if block.west is not None:
+                ctx.put(block.west, np.ascontiguousarray(grid[1 : h + 1, 1]),
+                        ghost_e)
+
+        def load_ghosts(grid):
+            grid[0, 1 : w + 1] = ghost_n
+            grid[h + 1, 1 : w + 1] = ghost_s
+            grid[1 : h + 1, w + 1] = ghost_e
+            grid[1 : h + 1, 0] = ghost_w
+
+        # Setup superstep: exchange the initial field's borders so the
+        # first sweep sees real neighbour values.
+        put_borders(u)
+        ctx.sync()
+
+        border_cells = border_cell_count(h, w)
+        interior_cells = interior_cell_count(h, w)
+        fp = _footprint(block)
+
+        for _ in range(iterations):
+            if execute_numerics:
+                load_ghosts(u)
+                # Borders and corners first (region order of Fig. 8.2)...
+                u_new[1 : h + 1, 1 : w + 1] = 0.25 * (
+                    u[0:h, 1 : w + 1]
+                    + u[2 : h + 2, 1 : w + 1]
+                    + u[1 : h + 1, 0:w]
+                    + u[1 : h + 1, 2 : w + 2]
+                )
+            ctx.charge_kernel(STENCIL5, border_cells, footprint_bytes=fp)
+            # ...so their transfer can be committed before the interior.
+            put_borders(u_new)
+            ctx.charge_kernel(STENCIL5, interior_cells, footprint_bytes=fp)
+            ctx.sync()
+            u, u_new = u_new, u
+        return u[1 : h + 1, 1 : w + 1].copy() if execute_numerics else None
+
+    result = bsp_run(machine, nprocs, program, label=label, noisy=noisy)
+    # Supersteps: registration, initial border exchange, then iterations.
+    step_ends = np.array([rec.exit_times.max() for rec in result.supersteps])
+    if iterations:
+        iteration_seconds = np.diff(step_ends)[-iterations:]
+    else:
+        iteration_seconds = np.array([])
+
+    field = None
+    if execute_numerics:
+        field = np.zeros((n, n))
+        for block, local in zip(blocks, result.return_values):
+            field[
+                block.global_row0 : block.global_row0 + block.height,
+                block.global_col0 : block.global_col0 + block.width,
+            ] = local
+    return StencilRunResult(
+        name="BSP",
+        nprocs=nprocs,
+        n=n,
+        iterations=iterations,
+        iteration_seconds=iteration_seconds,
+        total_seconds=result.total_seconds,
+        field=field,
+    )
+
+
+# --------------------------------------------------------- MPI-family model
+
+
+def _exchange_stages(blocks: list[LocalBlock]) -> tuple[list, list]:
+    """Fig. 8.3's two-stage border exchange: horizontal then vertical,
+    with per-stage payload matrices in bytes."""
+    p = len(blocks)
+    horizontal = np.zeros((p, p), dtype=bool)
+    vertical = np.zeros((p, p), dtype=bool)
+    pay_h = np.zeros((p, p))
+    pay_v = np.zeros((p, p))
+    for block in blocks:
+        if block.east is not None:
+            horizontal[block.rank, block.east] = True
+            pay_h[block.rank, block.east] = block.height * WORD
+        if block.west is not None:
+            horizontal[block.rank, block.west] = True
+            pay_h[block.rank, block.west] = block.height * WORD
+        if block.north is not None:
+            vertical[block.rank, block.north] = True
+            pay_v[block.rank, block.north] = block.width * WORD
+        if block.south is not None:
+            vertical[block.rank, block.south] = True
+            pay_v[block.rank, block.south] = block.width * WORD
+    return [horizontal, vertical], [pay_h, pay_v]
+
+
+def _charge_compute(machine, placement, cells, footprints, rng):
+    """Per-rank noisy compute time for a cell-count vector."""
+    out = np.empty(placement.nprocs)
+    for rank in range(placement.nprocs):
+        out[rank] = machine.kernel_time(
+            placement.core_of(rank),
+            STENCIL5,
+            int(cells[rank]),
+            rng=rng,
+            footprint_bytes=footprints[rank],
+        )
+    return out
+
+
+def _run_mpi_family(
+    machine: SimMachine,
+    nprocs: int,
+    n: int,
+    iterations: int,
+    overlap: bool,
+    name: str,
+    placement: Placement | None = None,
+    blocks: list[LocalBlock] | None = None,
+    compute_scale: float = 1.0,
+    extra_per_iter: float = 0.0,
+    noisy: bool = True,
+) -> StencilRunResult:
+    require_int(iterations, "iterations")
+    if blocks is None:
+        blocks = decompose(n, nprocs)
+    if placement is None:
+        placement = machine.placement(nprocs)
+    truth = machine.comm_truth(placement)
+    stages, payloads = _exchange_stages(blocks)
+    rng = machine.rng("stencil", name, nprocs, n) if noisy else None
+    noise = machine.noise if noisy else None
+
+    border = np.array([border_cell_count(b.height, b.width) for b in blocks])
+    interior = np.array([interior_cell_count(b.height, b.width) for b in blocks])
+    footprints = [
+        _footprint(b) / compute_scale if compute_scale != 1.0 else _footprint(b)
+        for b in blocks
+    ]
+
+    clock = np.zeros(nprocs)
+    iteration_seconds = np.empty(iterations)
+    for it in range(iterations):
+        start = clock.max()
+        if overlap:
+            t_border = _charge_compute(machine, placement, border, footprints, rng)
+            t_border /= compute_scale
+            comm_entry = clock + t_border
+            exits_comm = simulate_stages(
+                truth, stages, payload_bytes=payloads,
+                rng=rng, noise=noise, entry_times=comm_entry,
+            )
+            t_interior = _charge_compute(
+                machine, placement, interior, footprints, rng
+            )
+            t_interior /= compute_scale
+            clock = np.maximum(comm_entry + t_interior, exits_comm)
+        else:
+            t_comp = _charge_compute(
+                machine, placement, border + interior, footprints, rng
+            )
+            t_comp /= compute_scale
+            clock = simulate_stages(
+                truth, stages, payload_bytes=payloads,
+                rng=rng, noise=noise, entry_times=clock + t_comp,
+            )
+        clock = clock + extra_per_iter
+        # Neighbour dependencies couple the ranks; a global fence is not
+        # required by MPI, but iteration duration is still bounded by the
+        # slowest rank for reporting purposes.
+        iteration_seconds[it] = clock.max() - start
+    return StencilRunResult(
+        name=name,
+        nprocs=nprocs,
+        n=n,
+        iterations=iterations,
+        iteration_seconds=iteration_seconds,
+        total_seconds=float(clock.max()),
+    )
+
+
+def run_mpi_stencil(machine, nprocs, n, iterations, noisy=True) -> StencilRunResult:
+    """Plain MPI (§8.3.2): postponed, non-overlapped two-stage exchange."""
+    return _run_mpi_family(
+        machine, nprocs, n, iterations, overlap=False, name="MPI", noisy=noisy
+    )
+
+
+def run_mpi_r_stencil(machine, nprocs, n, iterations, noisy=True) -> StencilRunResult:
+    """MPI+R: restructured for overlap (Table 8.2's comparison point)."""
+    return _run_mpi_family(
+        machine, nprocs, n, iterations, overlap=True, name="MPI+R", noisy=noisy
+    )
+
+
+def run_hybrid_stencil(
+    machine: SimMachine, nprocs: int, n: int, iterations: int, noisy=True
+) -> StencilRunResult:
+    """Hybrid (§8.3.3): one MPI rank per node, threads across the node's
+    cores, exchanges between nodes only."""
+    topo = machine.topology
+    cpn = topo.cores_per_node
+    if nprocs % cpn == 0:
+        nodes = nprocs // cpn
+        threads = cpn
+    else:
+        nodes = max(1, -(-nprocs // cpn))
+        threads = -(-nprocs // nodes)
+    if nodes > topo.nodes:
+        raise ValueError("hybrid run needs one rank per node at most")
+    blocks = decompose(n, nodes)
+    placement = Placement(
+        topo, [node * cpn for node in range(nodes)]
+    )
+    barrier_cost = THREAD_BARRIER_BASE * max(1.0, np.log2(max(threads, 2)))
+    result = _run_mpi_family(
+        machine,
+        nodes,
+        n,
+        iterations,
+        overlap=True,
+        name="Hybrid",
+        placement=placement,
+        blocks=blocks,
+        compute_scale=float(threads),
+        extra_per_iter=barrier_cost,
+        noisy=noisy,
+    )
+    return StencilRunResult(
+        name="Hybrid",
+        nprocs=nprocs,
+        n=n,
+        iterations=iterations,
+        iteration_seconds=result.iteration_seconds,
+        total_seconds=result.total_seconds,
+    )
+
+
+def serial_reference(initial: np.ndarray, iterations: int) -> np.ndarray:
+    """Serial Jacobi sweeps with zero boundary, for numerical validation."""
+    n = initial.shape[0]
+    u = np.zeros((n + 2, n + 2))
+    u[1:-1, 1:-1] = initial
+    out = np.zeros_like(u)
+    for _ in range(iterations):
+        out[1:-1, 1:-1] = 0.25 * (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        )
+        u, out = out, u
+    return u[1:-1, 1:-1].copy()

@@ -1,0 +1,190 @@
+"""Model-driven superstep adaptation (§8.6, Figs. 8.16-8.18).
+
+**[reconstructed]** Fig. 8.16 introduces *shadow cell regions*: widening
+the exchanged halo to ``d`` cells lets a rank run ``d`` sweeps per
+communication cycle, recomputing the shadow band redundantly but paying the
+synchronisation and message latency once per ``d`` iterations.  The model
+predicts the per-iteration cost of each depth (Fig. 8.17's adapted
+superstep), and the optimizer picks the depth with the cheapest prediction;
+C1 (Fig. 8.18) compares predicted and measured iteration times across
+depths, checking that the model's choice lands at (or next to) the measured
+optimum — the "parameter values to optimize for balanced overlapping" of
+the abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.barriers.cost_model import CommParameters
+from repro.bsplib.sync_model import predict_sync_cost
+from repro.kernels.numeric import STENCIL5
+from repro.machine.simmachine import SimMachine
+from repro.simmpi.engine import simulate_stages
+from repro.stencil.grid import decompose
+from repro.stencil.impls import WORD, _exchange_stages
+from repro.util.validation import require_int, require_positive
+
+
+def _swept_cells(height: int, width: int, depth: int) -> list[int]:
+    """Owned + shadow cells swept in each of the cycle's ``depth`` steps:
+    sweep k (0-based) still needs a band of ``depth - 1 - k`` valid shadow
+    cells around the owned block."""
+    return [
+        (height + 2 * (depth - 1 - k)) * (width + 2 * (depth - 1 - k))
+        for k in range(depth)
+    ]
+
+
+@dataclass(frozen=True)
+class HaloPrediction:
+    """Predicted per-iteration cost at one halo depth."""
+
+    depth: int
+    compute_per_iter: float
+    comm_per_iter: float
+    sync_per_iter: float
+
+    @property
+    def per_iteration(self) -> float:
+        return self.compute_per_iter + self.comm_per_iter + self.sync_per_iter
+
+
+def predict_halo_iteration(
+    nprocs: int,
+    n: int,
+    depth: int,
+    sec_per_cell: float,
+    params: CommParameters,
+) -> HaloPrediction:
+    """Fig. 8.17: the adapted superstep's predicted per-iteration cost."""
+    depth = require_int(depth, "depth")
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    require_positive(sec_per_cell, "sec_per_cell")
+    blocks = decompose(n, nprocs)
+    worst = max(blocks, key=lambda b: b.interior_cells)
+    swept = _swept_cells(worst.height, worst.width, depth)
+    compute_cycle = sum(swept) * sec_per_cell
+    # One exchange per cycle ships a depth-wide band per live side; border
+    # compute for the band is already inside the swept counts.
+    comm_model_bytes = worst.exchange_bytes(WORD) * depth
+    neighbours = worst.neighbours()
+    lat = 0.0
+    if neighbours:
+        i = worst.rank
+        lat = float(
+            sum(
+                2.0 * params.latency[i, j]
+                + (params.inv_bandwidth[i, j] if params.inv_bandwidth is not None else 0.0)
+                * comm_model_bytes / len(neighbours)
+                for j in neighbours
+            )
+        )
+    sync_cycle = predict_sync_cost(params) if nprocs > 1 else 0.0
+    # Interior sweeps beyond the first overlap the exchange; the remaining
+    # exposed part is bounded below by zero.
+    interior_like = compute_cycle - swept[0] * sec_per_cell
+    exposed_comm = max(lat - interior_like, 0.0)
+    return HaloPrediction(
+        depth=depth,
+        compute_per_iter=compute_cycle / depth,
+        comm_per_iter=exposed_comm / depth,
+        sync_per_iter=sync_cycle / depth,
+    )
+
+
+def measure_halo_iteration(
+    machine: SimMachine,
+    nprocs: int,
+    n: int,
+    depth: int,
+    cycles: int = 6,
+    noisy: bool = True,
+) -> float:
+    """Charge-model execution of the deep-halo scheme: per cycle, sweep the
+    widening bands, exchange depth-wide borders with overlap, and run the
+    payload sync.  Returns mean seconds per *iteration* (sweep)."""
+    depth = require_int(depth, "depth")
+    require_int(cycles, "cycles")
+    blocks = decompose(n, nprocs)
+    placement = machine.placement(nprocs)
+    truth = machine.comm_truth(placement)
+    stages, payloads = _exchange_stages(blocks)
+    payloads = [p * depth for p in payloads]
+    from repro.bsplib.sync_model import dissemination_payloads, sync_pattern
+
+    sync_stages = sync_pattern(nprocs).stages
+    sync_payloads = dissemination_payloads(nprocs)
+    rng = machine.rng("halo", nprocs, n, depth) if noisy else None
+    noise = machine.noise if noisy else None
+
+    footprints = [2.0 * (b.height + 2 * depth) * (b.width + 2 * depth) * WORD
+                  for b in blocks]
+    clock = np.zeros(nprocs)
+    for _ in range(cycles):
+        # First sweep (widest band) happens before communication commits.
+        first = np.empty(nprocs)
+        rest = np.empty(nprocs)
+        for rank, block in enumerate(blocks):
+            swept = _swept_cells(block.height, block.width, depth)
+            core = placement.core_of(rank)
+            first[rank] = machine.kernel_time(
+                core, STENCIL5, swept[0], rng=rng, footprint_bytes=footprints[rank]
+            )
+            rest[rank] = sum(
+                machine.kernel_time(
+                    core, STENCIL5, cells, rng=rng,
+                    footprint_bytes=footprints[rank],
+                )
+                for cells in swept[1:]
+            )
+        comm_entry = clock + first
+        exits_comm = simulate_stages(
+            truth, stages, payload_bytes=payloads,
+            rng=rng, noise=noise, entry_times=comm_entry,
+        )
+        body_end = np.maximum(comm_entry + rest, exits_comm)
+        if nprocs > 1:
+            clock = simulate_stages(
+                truth, sync_stages, payload_bytes=sync_payloads,
+                rng=rng, noise=noise, entry_times=body_end,
+            )
+        else:
+            clock = body_end
+    return float(clock.max()) / (cycles * depth)
+
+
+@dataclass(frozen=True)
+class HaloSweepPoint:
+    depth: int
+    predicted: float
+    measured: float
+
+
+def optimize_halo_depth(
+    machine: SimMachine,
+    nprocs: int,
+    n: int,
+    depths,
+    sec_per_cell: float,
+    params: CommParameters,
+    cycles: int = 6,
+    noisy: bool = True,
+) -> tuple[int, list[HaloSweepPoint]]:
+    """Sweep halo depths, returning the model's chosen depth and the
+    predicted/measured series of Fig. 8.18 (C1)."""
+    points = []
+    for depth in depths:
+        predicted = predict_halo_iteration(
+            nprocs, n, depth, sec_per_cell, params
+        ).per_iteration
+        measured = measure_halo_iteration(
+            machine, nprocs, n, depth, cycles=cycles, noisy=noisy
+        )
+        points.append(HaloSweepPoint(depth=depth, predicted=predicted,
+                                     measured=measured))
+    chosen = min(points, key=lambda pt: pt.predicted).depth
+    return chosen, points

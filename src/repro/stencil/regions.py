@@ -1,0 +1,97 @@
+"""The 17-region decomposition of a local block (§8.3.1, Fig. 8.2).
+
+The BSP implementation splits each rank's padded local array into
+
+* 1 deep interior,
+* 4 owned border strips (north/south/east/west, excluding corners),
+* 4 owned corner cells, and
+* 4 ghost strips + 4 ghost corners received from neighbours,
+
+17 regions in total.  Owned borders and corners are computed *first* so
+their values can be committed to the neighbours immediately, letting the
+transfer overlap the deep-interior sweep (the Fig. 1.2 processing model in
+action).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require_int
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named rectangular slice of the padded (h+2) x (w+2) local array."""
+
+    name: str
+    kind: str  # "interior" | "border" | "corner" | "ghost"
+    rows: slice
+    cols: slice
+
+    def of(self, array: np.ndarray) -> np.ndarray:
+        return array[self.rows, self.cols]
+
+    def cell_count(self, height: int, width: int) -> int:
+        padded = (height + 2, width + 2)
+        r = range(*self.rows.indices(padded[0]))
+        c = range(*self.cols.indices(padded[1]))
+        return len(r) * len(c)
+
+
+def block_regions(height: int, width: int) -> list[Region]:
+    """The 17 regions of a padded local block (owned area ``height x width``)."""
+    require_int(height, "height")
+    require_int(width, "width")
+    if height < 3 or width < 3:
+        raise ValueError("regions need at least a 3x3 owned block")
+    h, w = height, width
+    return [
+        # --- owned compute regions (9) ---------------------------------
+        Region("interior", "interior", slice(2, h), slice(2, w)),
+        Region("border-n", "border", slice(1, 2), slice(2, w)),
+        Region("border-s", "border", slice(h, h + 1), slice(2, w)),
+        Region("border-w", "border", slice(2, h), slice(1, 2)),
+        Region("border-e", "border", slice(2, h), slice(w, w + 1)),
+        Region("corner-nw", "corner", slice(1, 2), slice(1, 2)),
+        Region("corner-ne", "corner", slice(1, 2), slice(w, w + 1)),
+        Region("corner-sw", "corner", slice(h, h + 1), slice(1, 2)),
+        Region("corner-se", "corner", slice(h, h + 1), slice(w, w + 1)),
+        # --- ghost regions (8) ------------------------------------------
+        Region("ghost-n", "ghost", slice(0, 1), slice(1, w + 1)),
+        Region("ghost-s", "ghost", slice(h + 1, h + 2), slice(1, w + 1)),
+        Region("ghost-w", "ghost", slice(1, h + 1), slice(0, 1)),
+        Region("ghost-e", "ghost", slice(1, h + 1), slice(w + 1, w + 2)),
+        Region("ghost-nw", "ghost", slice(0, 1), slice(0, 1)),
+        Region("ghost-ne", "ghost", slice(0, 1), slice(w + 1, w + 2)),
+        Region("ghost-sw", "ghost", slice(h + 1, h + 2), slice(0, 1)),
+        Region("ghost-se", "ghost", slice(h + 1, h + 2), slice(w + 1, w + 2)),
+    ]
+
+
+def compute_regions(height: int, width: int) -> list[Region]:
+    """Owned regions in BSP compute order: borders and corners first (so
+    communication can be committed early), deep interior last."""
+    regions = block_regions(height, width)
+    owned = [r for r in regions if r.kind in ("border", "corner")]
+    interior = [r for r in regions if r.kind == "interior"]
+    return owned + interior
+
+
+def ghost_regions(height: int, width: int) -> list[Region]:
+    return [r for r in block_regions(height, width) if r.kind == "ghost"]
+
+
+def border_cell_count(height: int, width: int) -> int:
+    """Cells computed before communication is committed."""
+    return sum(
+        r.cell_count(height, width)
+        for r in block_regions(height, width)
+        if r.kind in ("border", "corner")
+    )
+
+
+def interior_cell_count(height: int, width: int) -> int:
+    return (height - 2) * (width - 2)

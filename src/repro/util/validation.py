@@ -1,0 +1,58 @@
+"""Argument validation helpers.
+
+All validators raise ``ValueError``/``TypeError`` with the offending name in
+the message so call sites can stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+
+def require_int(value, name: str) -> int:
+    """Return ``value`` as ``int``; reject bools and non-integral numbers."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def require_positive(value, name: str) -> float:
+    """Require a strictly positive finite number."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(value, name: str) -> float:
+    """Require a finite number >= 0."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(value, name: str, low, high) -> float:
+    """Require ``low <= value <= high``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_matrix(array, name: str, shape: tuple | None = None) -> np.ndarray:
+    """Return ``array`` as a 2-D float ndarray, optionally of a given shape."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got ndim={out.ndim}")
+    if shape is not None and out.shape != tuple(shape):
+        raise ValueError(f"{name} must have shape {shape}, got {out.shape}")
+    return out

@@ -1,0 +1,142 @@
+"""Unit and integration tests for hybrid barriers and greedy adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    ClusterLevel,
+    flat_defaults,
+    greedy_adapt,
+    hierarchical_barrier,
+    sss_cluster,
+)
+from repro.barriers import is_correct_barrier, measure_barrier, predict_barrier_cost
+from repro.bench import benchmark_comm
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+
+def two_level_levels(groups):
+    p = sum(groups)
+    subsets = []
+    start = 0
+    for g in groups:
+        subsets.append(tuple(range(start, start + g)))
+        start += g
+    return [ClusterLevel(1e-6, tuple(subsets))]
+
+
+class TestHierarchicalBarrier:
+    @pytest.mark.parametrize("local", ["linear", "tree2", "tree4"])
+    @pytest.mark.parametrize("top", ["linear", "tree2", "dissemination"])
+    def test_correct_for_all_kind_combinations(self, local, top):
+        levels = two_level_levels([4, 4, 4])
+        pattern = hierarchical_barrier(12, levels, local_kind=local, top_kind=top)
+        assert is_correct_barrier(pattern)
+
+    def test_uneven_groups(self):
+        levels = two_level_levels([5, 3, 7, 1])
+        pattern = hierarchical_barrier(16, levels)
+        assert is_correct_barrier(pattern)
+
+    def test_three_level_hierarchy(self):
+        fine = ClusterLevel(
+            1e-6, tuple(tuple(range(s, s + 2)) for s in range(0, 8, 2))
+        )
+        coarse = ClusterLevel(2e-6, ((0, 1, 2, 3), (4, 5, 6, 7)))
+        pattern = hierarchical_barrier(8, [fine, coarse], local_kind="linear")
+        assert is_correct_barrier(pattern)
+
+    def test_single_process(self):
+        pattern = hierarchical_barrier(1, two_level_levels([1]))
+        assert pattern.num_stages == 0
+
+    def test_release_mirrors_gather(self):
+        levels = two_level_levels([4, 4])
+        pattern = hierarchical_barrier(
+            8, levels, local_kind="linear", top_kind="linear"
+        )
+        gather_depth = (pattern.num_stages - 2) // 2
+        for k in range(gather_depth):
+            np.testing.assert_array_equal(
+                pattern.stages[-(k + 1)], pattern.stages[k].T
+            )
+
+    def test_kind_count_mismatch(self):
+        with pytest.raises(ValueError, match="per level"):
+            hierarchical_barrier(
+                8, two_level_levels([4, 4]), local_kind=["linear", "tree2"]
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            hierarchical_barrier(8, two_level_levels([4, 4]), local_kind="magic")
+
+    def test_fewer_messages_than_flat_dissemination(self):
+        """The hybrid pays local gathers to spare the interconnect."""
+        from repro.barriers.patterns import dissemination_barrier
+
+        levels = two_level_levels([8, 8, 8, 8])
+        hybrid = hierarchical_barrier(32, levels, local_kind="tree2")
+        assert hybrid.total_messages < dissemination_barrier(32).total_messages
+
+
+class TestGreedyAdapt:
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=17
+        )
+        placement = machine.placement(32)
+        report = benchmark_comm(
+            machine, placement, samples=7,
+            sizes=tuple(2**k for k in range(0, 17, 4)),
+        )
+        return machine, placement, report.params
+
+    def test_produces_correct_pattern(self, profiled):
+        _, _, params = profiled
+        adapted = greedy_adapt(params)
+        assert is_correct_barrier(adapted.pattern)
+
+    def test_prediction_beats_or_matches_defaults(self, profiled):
+        """§7.4's headline: the generated barrier's predicted cost never
+        loses to the flat defaults (it can always fall back to them)."""
+        _, _, params = profiled
+        adapted = greedy_adapt(params)
+        assert adapted.predicted_cost <= min(adapted.default_predictions.values())
+
+    def test_measured_performance_competitive(self, profiled):
+        """Figs. 7.6-7.7: measured adapted barrier equals or outperforms
+        the measured defaults (tolerance for noise)."""
+        machine, placement, params = profiled
+        adapted = greedy_adapt(params)
+        t_adapted = measure_barrier(
+            machine, adapted.pattern, placement, runs=16
+        ).mean_worst
+        best_default = min(
+            measure_barrier(machine, p, placement, runs=16).mean_worst
+            for p in flat_defaults(placement.nprocs).values()
+        )
+        assert t_adapted <= best_default * 1.15
+
+    def test_prediction_tracks_measurement(self, profiled):
+        machine, placement, params = profiled
+        adapted = greedy_adapt(params)
+        measured = measure_barrier(
+            machine, adapted.pattern, placement, runs=16
+        ).mean_worst
+        assert adapted.predicted_cost == pytest.approx(measured, rel=1.0)
+
+    def test_flat_latency_still_produces_barrier(self):
+        """A structureless platform degenerates to a single subset; the
+        generator must still emit a correct barrier (possibly a default)."""
+        lat = np.full((6, 6), 1e-6)
+        np.fill_diagonal(lat, 0.0)
+        ov = np.full((6, 6), 1e-7)
+        from repro.barriers.cost_model import CommParameters
+
+        params = CommParameters(overhead=ov, latency=lat)
+        adapted = greedy_adapt(params)
+        assert is_correct_barrier(adapted.pattern)
+        assert adapted.predicted_cost <= min(adapted.default_predictions.values())

@@ -1,0 +1,54 @@
+"""Defensive-validation tests for the hybrid barrier generator."""
+
+import pytest
+
+from repro.adapt import ClusterLevel, hierarchical_barrier
+from repro.barriers import is_correct_barrier
+
+
+def levels_for(groups):
+    subsets = []
+    start = 0
+    for g in groups:
+        subsets.append(tuple(range(start, start + g)))
+        start += g
+    return [ClusterLevel(1e-6, tuple(subsets))]
+
+
+class TestGeneratorDefenses:
+    def test_dissemination_as_gather_caught(self):
+        """Dissemination has no arrival/release split, so using it as a
+        *gather* kind produces a broken funnel — the knowledge-matrix
+        validation must refuse it (the §5.5 debugging story)."""
+        with pytest.raises(ValueError, match="lacking arrival evidence"):
+            hierarchical_barrier(
+                8, levels_for([4, 4]), local_kind="dissemination",
+                top_kind="dissemination",
+            )
+
+    def test_validation_can_be_bypassed_for_analysis(self):
+        pattern = hierarchical_barrier(
+            8, levels_for([4, 4]), local_kind="dissemination",
+            top_kind="dissemination", validate=False,
+        )
+        assert not is_correct_barrier(pattern)
+
+    def test_incomplete_level_coverage_rejected(self):
+        bad_level = ClusterLevel(1e-6, ((0, 1), (2,)))  # rank 3 missing
+        with pytest.raises(ValueError):
+            hierarchical_barrier(4, [bad_level])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            hierarchical_barrier(4, [])
+
+    def test_singleton_subsets_only_top(self):
+        """All-singleton level degenerates to the top pattern alone."""
+        level = ClusterLevel(1e-6, ((0,), (1,), (2,), (3,)))
+        pattern = hierarchical_barrier(
+            4, [level], local_kind="linear", top_kind="dissemination"
+        )
+        assert is_correct_barrier(pattern)
+        from repro.barriers import dissemination_barrier
+
+        assert pattern.num_stages == dissemination_barrier(4).num_stages

@@ -1,0 +1,122 @@
+"""Unit tests for SSS latency clustering (§7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.sss import (
+    ClusterLevel,
+    clustering_table,
+    latency_strata,
+    nested_hierarchy,
+    sss_cluster,
+)
+from repro.bench import benchmark_comm
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+
+def synthetic_latency(groups, local=1e-6, remote=1e-5):
+    """Block matrix: cheap within groups, expensive across."""
+    p = sum(groups)
+    lat = np.full((p, p), remote)
+    start = 0
+    for g in groups:
+        lat[start : start + g, start : start + g] = local
+        start += g
+    np.fill_diagonal(lat, 0.0)
+    return lat
+
+
+class TestLatencyStrata:
+    def test_two_strata_detected(self):
+        lat = synthetic_latency([4, 4])
+        bounds = latency_strata(lat)
+        assert len(bounds) == 2
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[1] == pytest.approx(1e-5)
+
+    def test_uniform_is_one_stratum(self):
+        lat = synthetic_latency([8], local=1e-6)
+        assert len(latency_strata(lat)) == 1
+
+    def test_noise_within_stratum_not_split(self):
+        rng = np.random.default_rng(0)
+        lat = synthetic_latency([4, 4])
+        lat *= rng.uniform(0.95, 1.05, lat.shape)
+        np.fill_diagonal(lat, 0.0)
+        assert len(latency_strata(lat)) == 2
+
+    def test_gap_ratio_validation(self):
+        with pytest.raises(ValueError):
+            latency_strata(synthetic_latency([4]), gap_ratio=0.9)
+
+
+class TestSssCluster:
+    def test_groups_recovered(self):
+        lat = synthetic_latency([3, 5, 4])
+        levels = sss_cluster(lat)
+        assert levels[0].subset_sizes == [3, 5, 4]
+        assert levels[-1].subset_sizes == [12]
+
+    def test_three_level_hierarchy(self):
+        """Socket-in-node structure: 2 sockets of 2 per node, 2 nodes."""
+        p = 8
+        lat = np.full((p, p), 9e-6)  # remote
+        for node in range(2):
+            base = node * 4
+            lat[base : base + 4, base : base + 4] = 2e-6  # same node
+            for socket in range(2):
+                s = base + socket * 2
+                lat[s : s + 2, s : s + 2] = 0.5e-6  # same socket
+        np.fill_diagonal(lat, 0.0)
+        levels = sss_cluster(lat, gap_ratio=1.5)
+        assert [lvl.subset_sizes for lvl in levels] == [
+            [2, 2, 2, 2],
+            [4, 4],
+            [8],
+        ]
+
+    def test_disconnected_rejected(self):
+        lat = synthetic_latency([4, 4])
+        lat[:4, 4:] = 0.0  # no measured connectivity
+        lat[4:, :4] = 0.0
+        with pytest.raises(ValueError, match="disconnected"):
+            sss_cluster(lat)
+
+
+class TestNestedHierarchy:
+    def test_duplicate_levels_dropped(self):
+        a = ClusterLevel(1.0, ((0, 1), (2, 3)))
+        b = ClusterLevel(2.0, ((0, 1), (2, 3)))
+        c = ClusterLevel(3.0, ((0, 1, 2, 3),))
+        assert nested_hierarchy([a, b, c]) == [a, c]
+
+
+class TestClusteringTable:
+    def test_row_format(self):
+        levels = sss_cluster(synthetic_latency([4, 4, 4]))
+        rows = clustering_table(levels)
+        assert rows[0][0] == 0
+        assert rows[0][2] == 3
+        assert rows[0][3] == "3x4"
+
+
+class TestOnBenchmarkedPlatform:
+    def test_recovers_node_structure_60_procs(self):
+        """Table 7.1's scenario: 60 processes on the 8x2x4 cluster must
+        cluster into the 8 nodes (4 with 8 ranks, 4 with 7)."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=7
+        )
+        placement = machine.placement(60)
+        report = benchmark_comm(
+            machine, placement, samples=7,
+            sizes=tuple(2**k for k in range(0, 17, 4)),
+        )
+        levels = sss_cluster(report.params.latency)
+        node_level = levels[-2]
+        assert sorted(node_level.subset_sizes) == [7, 7, 7, 7, 8, 8, 8, 8]
+        # Subsets must coincide with the actual nodes.
+        for subset in node_level.subsets:
+            nodes = {placement.node_of(r) for r in subset}
+            assert len(nodes) == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the textbook asymptotic analysis (§5.4)."""
+
+import math
+
+import pytest
+
+from repro.barriers.asymptotic import (
+    dissemination_barrier_cost,
+    dominant_term,
+    linear_barrier_cost,
+    local_remote_split,
+    stage_wise_cost,
+    tree_barrier_cost,
+)
+from repro.barriers.patterns import (
+    dissemination_barrier,
+    linear_barrier,
+    tree_barrier,
+)
+from repro.cluster.presets import xeon_8x2x4_topology
+from repro.cluster.topology import Placement
+
+
+class TestClosedForms:
+    def test_linear_2cp(self):
+        assert linear_barrier_cost(16, 2.0) == 64.0
+
+    def test_tree_2clog(self):
+        assert tree_barrier_cost(16, 2.0) == pytest.approx(2 * 2.0 * 4)
+
+    def test_dissemination_clog(self):
+        assert dissemination_barrier_cost(16, 2.0) == pytest.approx(2.0 * 4)
+
+    def test_single_process_free(self):
+        assert tree_barrier_cost(1, 5.0) == 0.0
+        assert dissemination_barrier_cost(1, 5.0) == 0.0
+
+    def test_tree_is_twice_dissemination(self):
+        for p in (4, 32, 128):
+            assert tree_barrier_cost(p, 1.0) == pytest.approx(
+                2 * dissemination_barrier_cost(p, 1.0)
+            )
+
+
+class TestStageWiseCost:
+    def test_matches_stage_count(self):
+        assert stage_wise_cost(dissemination_barrier(16), 3.0) == pytest.approx(
+            3.0 * math.ceil(math.log2(16))
+        )
+
+    def test_linear_two_stages(self):
+        assert stage_wise_cost(linear_barrier(50), 1.0) == 2.0
+
+
+class TestLocalRemoteSplit:
+    @pytest.fixture
+    def placement(self):
+        return Placement.round_robin(xeon_8x2x4_topology(), 16)
+
+    def test_counts_sum_to_messages(self, placement):
+        pattern = dissemination_barrier(16)
+        split = local_remote_split(pattern, placement)
+        total = sum(c["local"] + c["remote"] for c in split)
+        assert total == pattern.total_messages
+
+    def test_dissemination_remote_heavy_stage(self, placement):
+        """§5.4: the odd-offset stages of D are all-remote on two nodes."""
+        split = local_remote_split(dissemination_barrier(16), placement)
+        # Stage 0 (offset 1) crosses the node parity for every process.
+        assert split[0]["remote"] == 16
+        assert split[0]["local"] == 0
+        # Stage 1 (offset 2) stays on-node.
+        assert split[1]["remote"] == 0
+
+    def test_dominant_term_orders_patterns(self, placement):
+        c_local, c_remote = 1e-6, 10e-6
+        t_lin = dominant_term(linear_barrier(16), placement, c_local, c_remote)
+        t_diss = dominant_term(
+            dissemination_barrier(16), placement, c_local, c_remote
+        )
+        assert t_lin < t_diss or t_lin > 0  # both defined and positive
+        t_tree = dominant_term(tree_barrier(16), placement, c_local, c_remote)
+        assert t_tree > 0

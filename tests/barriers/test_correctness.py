@@ -1,0 +1,130 @@
+"""Unit and property tests for the knowledge-matrix correctness test (§5.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barriers.correctness import (
+    assert_correct,
+    is_correct_barrier,
+    knowledge_trace,
+    stages_to_completion,
+    uninformed_pairs,
+)
+from repro.barriers.patterns import (
+    all_to_all_barrier,
+    dissemination_barrier,
+    from_stages,
+    linear_barrier,
+    ring_pattern,
+    sequential_linear_barrier,
+    tree_barrier,
+)
+
+
+class TestKnowledgeRecursion:
+    def test_eq_5_1_first_stage(self):
+        pattern = linear_barrier(3)
+        k0 = knowledge_trace(pattern)[0]
+        expected = np.eye(3) + pattern.stages[0].astype(float)
+        np.testing.assert_array_equal(k0, expected)
+
+    def test_eq_5_2_growth(self):
+        pattern = dissemination_barrier(4)
+        trace = knowledge_trace(pattern)
+        k0, k1 = trace[0], trace[1]
+        expected = k0 + k0 @ pattern.stages[1].astype(float)
+        np.testing.assert_array_equal(k1, expected)
+
+    def test_knowledge_monotone(self):
+        pattern = tree_barrier(8)
+        trace = knowledge_trace(pattern)
+        for prev, curr in zip(trace, trace[1:]):
+            assert (curr >= prev).all()
+
+
+class TestStandardBarriersCorrect:
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16, 33, 64])
+    def test_linear(self, p):
+        assert is_correct_barrier(linear_barrier(p))
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16, 33, 64])
+    def test_tree(self, p):
+        assert is_correct_barrier(tree_barrier(p))
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16, 33, 64])
+    def test_dissemination(self, p):
+        assert is_correct_barrier(dissemination_barrier(p))
+
+    @pytest.mark.parametrize("p", [2, 5, 9])
+    def test_extremities(self, p):
+        assert is_correct_barrier(all_to_all_barrier(p))
+        assert is_correct_barrier(sequential_linear_barrier(p))
+
+
+class TestIncorrectPatterns:
+    def test_single_ring_round_fails(self):
+        """One token pass leaves everyone but the last hop uninformed."""
+        pattern = ring_pattern(5, rounds=1)
+        assert not is_correct_barrier(pattern)
+        missing = uninformed_pairs(pattern)
+        assert missing  # concrete failure trace
+
+    def test_two_ring_rounds_pass(self):
+        assert is_correct_barrier(ring_pattern(5, rounds=2))
+
+    def test_truncated_tree_fails(self):
+        pattern = tree_barrier(8)
+        truncated = from_stages("broken", pattern.stages[:-1])
+        assert not is_correct_barrier(truncated)
+
+    def test_empty_multiprocess_pattern_unconstructible(self):
+        from repro.barriers.patterns import BarrierPattern
+
+        with pytest.raises(ValueError, match="at least one stage"):
+            BarrierPattern("none", 3, ())
+
+    def test_assert_correct_raises_with_trace(self):
+        with pytest.raises(ValueError, match="lacking arrival evidence"):
+            assert_correct(ring_pattern(4, rounds=1))
+
+    def test_assert_correct_passes(self):
+        assert_correct(tree_barrier(8))
+
+
+class TestStagesToCompletion:
+    def test_dissemination_exact(self):
+        """Dissemination completes exactly at its last stage."""
+        pattern = dissemination_barrier(8)
+        assert stages_to_completion(pattern) == pattern.num_stages - 1
+
+    def test_never_completes(self):
+        assert stages_to_completion(ring_pattern(4, rounds=1)) is None
+
+    def test_single_process(self):
+        assert stages_to_completion(linear_barrier(1)) == 0
+
+    def test_extra_stage_detected(self):
+        base = tree_barrier(4)
+        padded = from_stages(
+            "padded", list(base.stages) + [np.zeros((4, 4), dtype=bool)]
+        )
+        done = stages_to_completion(padded)
+        assert done is not None and done < padded.num_stages - 1
+
+
+@given(p=st.integers(2, 24))
+@settings(max_examples=30, deadline=None)
+def test_delayed_process_blocks_everyone(p):
+    """Barrier semantics, expressed through knowledge: every process's
+    arrival is required — remove all of one process's outbound signals and
+    the barrier must break."""
+    pattern = dissemination_barrier(p)
+    victim = p // 2
+    stripped = []
+    for stage in pattern.stages:
+        s = stage.copy()
+        s[victim, :] = False
+        stripped.append(s)
+    assert not is_correct_barrier(from_stages("stripped", stripped))

@@ -1,0 +1,97 @@
+"""Tests for the extended pattern family (pairwise exchange, radix-k)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barriers import (
+    dissemination_barrier,
+    is_correct_barrier,
+    kary_dissemination_barrier,
+    pairwise_exchange_barrier,
+    predict_barrier_cost,
+)
+from repro.barriers.cost_model import CommParameters
+
+
+def uniform_params(p, latency=1.0, overhead=0.1):
+    lat = np.full((p, p), latency)
+    np.fill_diagonal(lat, 0.0)
+    ov = np.full((p, p), overhead)
+    np.fill_diagonal(ov, 0.01)
+    return CommParameters(overhead=ov, latency=lat)
+
+
+class TestPairwiseExchange:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 64])
+    def test_correct_for_powers_of_two(self, p):
+        assert is_correct_barrier(pairwise_exchange_barrier(p))
+
+    def test_log2_stages(self):
+        assert pairwise_exchange_barrier(16).num_stages == 4
+
+    def test_symmetric_stages(self):
+        for stage in pairwise_exchange_barrier(8).stages:
+            np.testing.assert_array_equal(stage, stage.T)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            pairwise_exchange_barrier(6)
+
+    def test_single_process(self):
+        assert pairwise_exchange_barrier(1).num_stages == 0
+
+    def test_same_message_count_as_dissemination(self):
+        """One signal per process per stage, like dissemination — the
+        difference is purely the partner structure (XOR vs cyclic shift)."""
+        p = 16
+        assert (
+            pairwise_exchange_barrier(p).total_messages
+            == dissemination_barrier(p).total_messages
+        )
+
+
+class TestKaryDissemination:
+    @pytest.mark.parametrize("p", [2, 5, 9, 16, 27, 40])
+    @pytest.mark.parametrize("radix", [2, 3, 4])
+    def test_correct(self, p, radix):
+        assert is_correct_barrier(kary_dissemination_barrier(p, radix))
+
+    def test_radix_2_equals_dissemination(self):
+        a = kary_dissemination_barrier(16, 2)
+        b = dissemination_barrier(16)
+        assert a.num_stages == b.num_stages
+        for sa, sb in zip(a.stages, b.stages):
+            np.testing.assert_array_equal(sa, sb)
+
+    def test_higher_radix_fewer_stages(self):
+        assert (
+            kary_dissemination_barrier(81, 3).num_stages
+            < dissemination_barrier(81).num_stages
+        )
+
+    def test_invalid_radix(self):
+        with pytest.raises(ValueError):
+            kary_dissemination_barrier(8, 1)
+
+    def test_latency_vs_injection_tradeoff(self):
+        """Under uniform per-signal cost the Eq. 5.4 model shows the knob:
+        radix-4 shortens the critical path's stage count but each stage
+        sums more per-process latency terms."""
+        p = 64
+        params = uniform_params(p)
+        c2 = predict_barrier_cost(kary_dissemination_barrier(p, 2), params)
+        c4 = predict_barrier_cost(kary_dissemination_barrier(p, 4), params)
+        # 6 stages of 1 signal vs 3 stages of 3 signals: 6*2L vs 3*6L.
+        assert c4 > c2
+
+
+@given(p=st.integers(2, 64), radix=st.integers(2, 5))
+@settings(max_examples=40, deadline=None)
+def test_kary_property_messages(p, radix):
+    pattern = kary_dissemination_barrier(p, radix)
+    assert is_correct_barrier(pattern)
+    # Per stage, each process sends at most radix-1 signals.
+    for stage in pattern.stages:
+        assert stage.sum(axis=1).max() <= radix - 1

@@ -1,0 +1,161 @@
+"""Unit and property tests for barrier stage patterns (§5.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barriers.patterns import (
+    BarrierPattern,
+    all_to_all_barrier,
+    dissemination_barrier,
+    from_stages,
+    linear_barrier,
+    ring_pattern,
+    sequential_linear_barrier,
+    tree_barrier,
+)
+
+
+class TestLinearBarrier:
+    def test_fig_5_2_matrices(self):
+        """The thesis's 4-process linear barrier, Fig. 5.2."""
+        pattern = linear_barrier(4)
+        s0 = np.zeros((4, 4), dtype=bool)
+        s0[1, 0] = s0[2, 0] = s0[3, 0] = True
+        np.testing.assert_array_equal(pattern.stages[0], s0)
+        np.testing.assert_array_equal(pattern.stages[1], s0.T)
+
+    def test_two_stages_always(self):
+        for p in (2, 7, 64):
+            assert linear_barrier(p).num_stages == 2
+
+    def test_message_count_linear(self):
+        assert linear_barrier(10).total_messages == 18  # 2 * (P - 1)
+
+    def test_nonzero_root(self):
+        pattern = linear_barrier(4, root=2)
+        assert pattern.stages[0][0, 2]
+        assert not pattern.stages[0][2, 0]
+
+    def test_root_out_of_range(self):
+        with pytest.raises(ValueError):
+            linear_barrier(4, root=4)
+
+
+class TestDisseminationBarrier:
+    def test_fig_5_3_matrices(self):
+        """The thesis's 4-process dissemination barrier, Fig. 5.3."""
+        pattern = dissemination_barrier(4)
+        s0 = np.zeros((4, 4), dtype=bool)
+        s0[0, 1] = s0[1, 2] = s0[2, 3] = s0[3, 0] = True
+        s1 = np.zeros((4, 4), dtype=bool)
+        s1[0, 2] = s1[1, 3] = s1[2, 0] = s1[3, 1] = True
+        np.testing.assert_array_equal(pattern.stages[0], s0)
+        np.testing.assert_array_equal(pattern.stages[1], s1)
+
+    def test_stage_count_log(self):
+        assert dissemination_barrier(8).num_stages == 3
+        assert dissemination_barrier(9).num_stages == 4
+        assert dissemination_barrier(64).num_stages == 6
+
+    def test_every_process_sends_each_stage(self):
+        pattern = dissemination_barrier(12)
+        for stage in pattern.stages:
+            assert (stage.sum(axis=1) == 1).all()
+            assert (stage.sum(axis=0) == 1).all()
+
+
+class TestTreeBarrier:
+    def test_fig_5_4_matrices(self):
+        """The thesis's 4-process binary tree barrier, Fig. 5.4."""
+        pattern = tree_barrier(4)
+        s0 = np.zeros((4, 4), dtype=bool)
+        s0[1, 0] = s0[3, 2] = True
+        s1 = np.zeros((4, 4), dtype=bool)
+        s1[2, 0] = True
+        assert pattern.num_stages == 4
+        np.testing.assert_array_equal(pattern.stages[0], s0)
+        np.testing.assert_array_equal(pattern.stages[1], s1)
+        np.testing.assert_array_equal(pattern.stages[2], s1.T)
+        np.testing.assert_array_equal(pattern.stages[3], s0.T)
+
+    def test_release_transposes_arrival(self):
+        """§5.5: release stages are transposed arrival stages, reversed —
+        a property of any hierarchical barrier."""
+        pattern = tree_barrier(16)
+        half = pattern.num_stages // 2
+        for k in range(half):
+            np.testing.assert_array_equal(
+                pattern.stages[half + k], pattern.stages[half - 1 - k].T
+            )
+
+    def test_arity_reduces_stages(self):
+        assert tree_barrier(64, arity=4).num_stages < tree_barrier(64).num_stages
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            tree_barrier(4, arity=1)
+
+
+class TestExtremities:
+    def test_all_to_all_single_stage(self):
+        pattern = all_to_all_barrier(5)
+        assert pattern.num_stages == 1
+        assert pattern.total_messages == 20
+
+    def test_sequential_linear_stage_count(self):
+        assert sequential_linear_barrier(5).num_stages == 8  # 2 * (P - 1)
+
+    def test_ring_stage_counts(self):
+        assert ring_pattern(5, rounds=1).num_stages == 4
+        assert ring_pattern(5, rounds=2).num_stages == 9
+
+
+class TestPatternValidation:
+    def test_self_signal_rejected(self):
+        bad = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError, match="self-signal"):
+            from_stages("bad", [bad])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BarrierPattern("bad", 3, (np.zeros((2, 2), dtype=bool),))
+
+    def test_stages_immutable(self):
+        pattern = linear_barrier(3)
+        with pytest.raises(ValueError):
+            pattern.stages[0][0, 1] = True
+
+    def test_single_process_trivial(self):
+        assert linear_barrier(1).num_stages == 0
+        assert dissemination_barrier(1).num_stages == 0
+        assert tree_barrier(1).num_stages == 0
+
+
+class TestAccessors:
+    def test_senders_receivers(self):
+        pattern = linear_barrier(4)
+        np.testing.assert_array_equal(pattern.senders(0), [1, 2, 3])
+        np.testing.assert_array_equal(pattern.receivers(0), [0])
+        np.testing.assert_array_equal(pattern.participants(0), [0, 1, 2, 3])
+
+    def test_with_name(self):
+        renamed = linear_barrier(4).with_name("custom")
+        assert renamed.name == "custom"
+        assert renamed.total_messages == 6
+
+
+@given(p=st.integers(2, 40))
+@settings(max_examples=40, deadline=None)
+def test_dissemination_messages_property(p):
+    pattern = dissemination_barrier(p)
+    assert pattern.total_messages == p * pattern.num_stages
+
+
+@given(p=st.integers(2, 40), arity=st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_tree_messages_property(p, arity):
+    """A combining tree sends exactly P-1 arrival and P-1 release signals."""
+    pattern = tree_barrier(p, arity=arity)
+    assert pattern.total_messages == 2 * (p - 1)

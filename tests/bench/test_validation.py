@@ -1,0 +1,70 @@
+"""Tests for benchmark stability validation (§5.6.4)."""
+
+import pytest
+
+from repro.bench.validation import benchmark_stability
+from repro.cluster import presets
+from repro.cluster.noise import NoiseModel, QUIET
+from repro.machine import SimMachine
+
+FAST_SIZES = tuple(2**k for k in range(0, 17, 4))
+
+
+class TestBenchmarkStability:
+    def test_quiet_machine_perfectly_stable(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=1,
+        )
+        report = benchmark_stability(
+            machine, machine.placement(6), repeats=3, samples=3,
+            sizes=FAST_SIZES,
+        )
+        assert report.worst_latency_spread < 1e-9
+        assert report.acceptable(1e-6)
+
+    def test_default_noise_meets_criterion(self):
+        """§5.6.4: variability an order of magnitude under the measurement."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=2
+        )
+        report = benchmark_stability(
+            machine, machine.placement(8), repeats=4, samples=15,
+            sizes=FAST_SIZES,
+        )
+        assert report.acceptable(0.15)
+
+    def test_wild_noise_fails_criterion(self):
+        """A platform too noisy for the protocol must be flagged — the
+        thesis's signal to recalibrate the benchmark."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(),
+            presets.xeon_8x2x4_params(),
+            noise=NoiseModel(jitter_sigma=0.45, outlier_prob=0.2,
+                             outlier_scale=30.0),
+            seed=3,
+        )
+        report = benchmark_stability(
+            machine, machine.placement(6), repeats=4, samples=5,
+            sizes=FAST_SIZES,
+        )
+        assert not report.acceptable(0.05)
+
+    def test_repeats_validated(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=4
+        )
+        with pytest.raises(ValueError):
+            benchmark_stability(machine, machine.placement(4), repeats=1)
+
+    def test_spread_shapes(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=5
+        )
+        p = 5
+        report = benchmark_stability(
+            machine, machine.placement(p), repeats=2, samples=5,
+            sizes=FAST_SIZES,
+        )
+        assert report.latency_rel_spread.shape == (p * p - p,)
+        assert report.overhead_rel_spread.shape == (p * p - p,)

@@ -1,0 +1,144 @@
+"""Tests for the collectives library over BSPlib."""
+
+import numpy as np
+import pytest
+
+from repro.bsplib import bsp_run
+from repro.bsplib.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    gather,
+    scan,
+)
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=181
+    )
+
+
+class TestBroadcast:
+    def test_root_value_everywhere(self, machine):
+        def program(ctx):
+            value = np.array([1.5, 2.5]) if ctx.pid == 2 else np.zeros(2)
+            return broadcast(ctx, value, root=2).tolist()
+
+        res = bsp_run(machine, 5, program, label="bcast")
+        assert all(v == [1.5, 2.5] for v in res.return_values)
+
+    def test_scalar_payload(self, machine):
+        def program(ctx):
+            return float(broadcast(ctx, 7.0 if ctx.pid == 0 else 0.0)[0])
+
+        res = bsp_run(machine, 3, program, label="bcast-scalar")
+        assert res.return_values == [7.0, 7.0, 7.0]
+
+
+class TestGather:
+    def test_root_collects_in_rank_order(self, machine):
+        def program(ctx):
+            out = gather(ctx, np.array([float(ctx.pid)]), root=1)
+            return None if out is None else out.tolist()
+
+        res = bsp_run(machine, 4, program, label="gather")
+        assert res.return_values[1] == [0.0, 1.0, 2.0, 3.0]
+        assert res.return_values[0] is None
+
+    def test_allgather(self, machine):
+        def program(ctx):
+            return allgather(ctx, np.array([float(ctx.pid)] * 2)).tolist()
+
+        res = bsp_run(machine, 3, program, label="allgather")
+        expected = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+        assert all(v == expected for v in res.return_values)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize(
+        "op,expected", [("sum", 6.0), ("max", 3.0), ("min", 0.0), ("prod", 0.0)]
+    )
+    def test_ops(self, machine, op, expected):
+        def program(ctx):
+            return float(allreduce(ctx, float(ctx.pid), op=op)[0])
+
+        res = bsp_run(machine, 4, program, label=f"ar-{op}")
+        assert all(v == expected for v in res.return_values)
+
+    def test_vector_reduction(self, machine):
+        def program(ctx):
+            return allreduce(ctx, np.array([1.0, float(ctx.pid)])).tolist()
+
+        res = bsp_run(machine, 4, program, label="ar-vec")
+        assert all(v == [4.0, 6.0] for v in res.return_values)
+
+    def test_unknown_op(self, machine):
+        def program(ctx):
+            allreduce(ctx, 1.0, op="xor")
+
+        with pytest.raises(ValueError, match="unknown op"):
+            bsp_run(machine, 2, program, label="ar-bad")
+
+
+class TestScan:
+    def test_inclusive_prefix_sums(self, machine):
+        def program(ctx):
+            return float(scan(ctx, float(ctx.pid + 1))[0])
+
+        res = bsp_run(machine, 4, program, label="scan")
+        assert res.return_values == [1.0, 3.0, 6.0, 10.0]
+
+
+class TestAlltoall:
+    def test_total_exchange(self, machine):
+        p = 3
+
+        def program(ctx):
+            blocks = [np.array([10.0 * ctx.pid + q]) for q in range(p)]
+            return alltoall(ctx, blocks).tolist()
+
+        res = bsp_run(machine, p, program, label="a2a")
+        # Process q receives blocks[q] of every source, in source order.
+        for q, received in enumerate(res.return_values):
+            assert received == [10.0 * src + q for src in range(p)]
+
+    def test_block_count_checked(self, machine):
+        def program(ctx):
+            alltoall(ctx, [np.zeros(1)])
+
+        with pytest.raises(Exception):
+            bsp_run(machine, 3, program, label="a2a-bad")
+
+
+class TestComposition:
+    def test_dot_product_via_collectives(self, machine):
+        """The bspinprod idiom in two lines of library calls."""
+        n_total = 8000
+
+        def program(ctx):
+            local_n = n_total // ctx.nprocs
+            x = np.full(local_n, 0.5)
+            y = np.full(local_n, 2.0)
+            local = float(x @ y)
+            return float(allreduce(ctx, local)[0])
+
+        res = bsp_run(machine, 8, program, label="dot-coll")
+        assert all(v == pytest.approx(n_total) for v in res.return_values)
+
+    def test_registration_state_clean_after_collectives(self, machine):
+        """Collectives pop their registrations: repeated use in a loop must
+        not leak slots (the queued pop commits at the caller's next sync,
+        per BSPlib registration semantics)."""
+        def program(ctx):
+            for i in range(5):
+                broadcast(ctx, float(i) if ctx.pid == 0 else 0.0)
+            ctx.sync()  # commit the last collective's queued pop
+            return ctx._state.regs.registered_count
+
+        res = bsp_run(machine, 3, program, label="reg-clean")
+        assert all(v == 0 for v in res.return_values)

@@ -1,0 +1,104 @@
+"""Unit tests for the payload-carrying sync cost model (§6.4-6.5)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barriers.cost_model import CommParameters
+from repro.bench import benchmark_comm
+from repro.bsplib.sync_model import (
+    COUNT_BYTES,
+    dissemination_payloads,
+    measure_sync_cost,
+    predict_sync_cost,
+    sync_pattern,
+)
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+
+class TestDisseminationPayloads:
+    def test_power_of_two_doubles(self):
+        payloads = dissemination_payloads(8)
+        assert payloads == [1 * 8 * 4.0, 2 * 8 * 4.0, 4 * 8 * 4.0]
+
+    def test_non_power_last_stage(self):
+        """§6.5: the last stage carries P - 2^(ceil(log2 P)-1) vectors."""
+        p = 12
+        payloads = dissemination_payloads(p)
+        stages = math.ceil(math.log2(p))
+        assert len(payloads) == stages
+        assert payloads[-1] == (p - 2 ** (stages - 1)) * p * COUNT_BYTES
+
+    def test_total_volume_is_full_map(self):
+        """Across all stages every process forwards P-1 count vectors; with
+        its own vector that completes the full P x P map at every process."""
+        for p in (2, 5, 8, 13, 64):
+            payloads = dissemination_payloads(p)
+            vectors = sum(pl / (p * COUNT_BYTES) for pl in payloads)
+            assert vectors == pytest.approx(p - 1)
+
+    def test_single_process_empty(self):
+        assert dissemination_payloads(1) == []
+
+
+class TestSyncPattern:
+    def test_is_dissemination(self):
+        pattern = sync_pattern(16)
+        assert pattern.num_stages == 4
+        assert pattern.name == "bsp-sync"
+
+
+class TestPredictVsMeasure:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=13
+        )
+
+    def test_payload_raises_cost(self, machine):
+        placement = machine.placement(16)
+        report = benchmark_comm(
+            machine, placement, samples=7,
+            sizes=tuple(2**k for k in range(0, 17, 4)),
+        )
+        from repro.barriers.cost_model import predict_barrier_cost
+
+        bare = predict_barrier_cost(sync_pattern(16), report.params)
+        loaded = predict_sync_cost(report.params)
+        assert loaded > bare
+
+    def test_prediction_tracks_measurement(self, machine):
+        """Figs. 6.3-6.4: the estimate must land within a factor of ~2.5 of
+        the measured payload-carrying sync on this platform."""
+        placement = machine.placement(32)
+        report = benchmark_comm(
+            machine, placement, samples=7,
+            sizes=tuple(2**k for k in range(0, 17, 4)),
+        )
+        predicted = predict_sync_cost(report.params)
+        measured = measure_sync_cost(machine, placement, runs=16).mean_worst
+        assert predicted == pytest.approx(measured, rel=1.5)
+
+    def test_nprocs_mismatch_rejected(self, machine):
+        placement = machine.placement(4)
+        report = benchmark_comm(
+            machine, placement, samples=5,
+            sizes=(1, 1024),
+        )
+        with pytest.raises(ValueError):
+            predict_sync_cost(report.params, nprocs=8)
+
+
+@given(p=st.integers(2, 200))
+@settings(max_examples=50, deadline=None)
+def test_payload_properties(p):
+    payloads = dissemination_payloads(p)
+    assert len(payloads) == math.ceil(math.log2(p))
+    assert all(pl > 0 for pl in payloads)
+    # Payloads double until the final correction stage.
+    for a, b in zip(payloads[:-2], payloads[1:-1]):
+        assert b == 2 * a

@@ -1,0 +1,64 @@
+"""Unit and property tests for the noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.noise import QUIET, NoiseModel
+
+
+class TestNoiseModel:
+    def test_quiet_is_identity(self):
+        rng = np.random.default_rng(0)
+        base = np.array([1e-6, 2e-3, 5.0])
+        out = QUIET.sample(rng, base)
+        np.testing.assert_allclose(out, base)
+
+    def test_median_preserved(self):
+        """Log-normal jitter is median-1: medians recover the base value."""
+        model = NoiseModel(jitter_sigma=0.1, outlier_prob=0.0)
+        rng = np.random.default_rng(1)
+        samples = model.sample(rng, np.full(20001, 1e-3))
+        assert abs(np.median(samples) - 1e-3) / 1e-3 < 0.02
+
+    def test_outliers_appear_at_expected_frequency(self):
+        model = NoiseModel(jitter_sigma=0.0, outlier_prob=0.05, outlier_scale=10.0)
+        rng = np.random.default_rng(2)
+        samples = model.sample(rng, np.full(20000, 1.0))
+        frac = np.mean(samples > 1.5)
+        assert 0.03 < frac < 0.07
+
+    def test_floor_enforced(self):
+        model = NoiseModel(jitter_sigma=0.0, outlier_prob=0.0, floor=1e-6)
+        rng = np.random.default_rng(3)
+        out = model.sample(rng, np.array([0.0]))
+        assert out[0] == 1e-6
+
+    def test_negative_duration_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            NoiseModel().sample(rng, np.array([-1.0]))
+
+    def test_invalid_outlier_prob(self):
+        with pytest.raises(ValueError):
+            NoiseModel(outlier_prob=0.9)
+
+    def test_scalar_helper(self):
+        rng = np.random.default_rng(5)
+        value = NoiseModel(jitter_sigma=0.05, outlier_prob=0.0).sample_scalar(rng, 1.0)
+        assert isinstance(value, float)
+        assert value > 0
+
+
+@given(
+    sigma=st.floats(0.0, 0.3),
+    base=st.floats(1e-9, 1e3),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_samples_always_positive(sigma, base, seed):
+    model = NoiseModel(jitter_sigma=sigma, outlier_prob=0.02)
+    rng = np.random.default_rng(seed)
+    out = model.sample(rng, np.full(16, base))
+    assert np.all(out > 0)

@@ -1,0 +1,91 @@
+"""Unit tests for cluster ground-truth parameters."""
+
+import pytest
+
+from repro.cluster.params import CacheLevel, ClusterParams, CoreParams, LinkParams
+from repro.cluster.presets import (
+    athlon_x2_params,
+    opteron_12x2x6_params,
+    xeon_8x2x4_params,
+)
+from repro.cluster.topology import Relation
+
+
+class TestLinkParams:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LinkParams(-1.0, 0.0, 0.0)
+
+
+class TestCoreParams:
+    def test_bandwidth_for_footprint_steps(self):
+        core = CoreParams(
+            flop_rate=1e9,
+            cache_levels=(CacheLevel(1024, 10e9), CacheLevel(4096, 5e9)),
+            ram_bandwidth=1e9,
+        )
+        assert core.bandwidth_for_footprint(512) == 10e9
+        assert core.bandwidth_for_footprint(1024) == 10e9
+        assert core.bandwidth_for_footprint(1025) == 5e9
+        assert core.bandwidth_for_footprint(10_000) == 1e9
+
+    def test_levels_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            CoreParams(
+                flop_rate=1e9,
+                cache_levels=(CacheLevel(4096, 5e9), CacheLevel(1024, 10e9)),
+                ram_bandwidth=1e9,
+            )
+
+    def test_requires_a_level(self):
+        with pytest.raises(ValueError):
+            CoreParams(flop_rate=1e9, cache_levels=(), ram_bandwidth=1e9)
+
+
+class TestClusterParams:
+    def test_self_link_has_zero_latency(self):
+        params = xeon_8x2x4_params()
+        link = params.link(Relation.SELF)
+        assert link.latency == 0.0
+        assert link.start_overhead > 0.0
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            ClusterParams(
+                links={Relation.REMOTE: LinkParams(1e-6, 1e-7, 1e-9)},
+                core=xeon_8x2x4_params().core,
+            )
+
+    def test_socket_rate_scale_validated(self):
+        with pytest.raises(ValueError):
+            ClusterParams(
+                links=xeon_8x2x4_params().links,
+                core=xeon_8x2x4_params().core,
+                socket_rate_scale={0: -1.0},
+            )
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "params", [xeon_8x2x4_params(), opteron_12x2x6_params(), athlon_x2_params()]
+    )
+    def test_locality_cost_ordering(self, params):
+        """Latency must be stratified by topological distance (§5.1)."""
+        socket = params.links[Relation.SAME_SOCKET]
+        node = params.links[Relation.SAME_NODE]
+        remote = params.links[Relation.REMOTE]
+        assert socket.latency < node.latency < remote.latency
+        assert socket.inv_bandwidth <= node.inv_bandwidth < remote.inv_bandwidth
+
+    def test_athlon_l1_is_64k(self):
+        """§4.2: the Athlon X2 shows its knee at the 64 KB L1 boundary."""
+        core = athlon_x2_params().core
+        assert core.cache_levels[0].size_bytes == 64 * 1024
+
+    def test_xeon_daxpy_rate_near_1gflops(self):
+        """Calibration: in-cache DAXPY should sustain ~1 Gflop/s (Tab. 3.1)."""
+        from repro.kernels.numeric import DAXPY
+        from repro.machine.compute import steady_rate_flops
+
+        rate = steady_rate_flops(DAXPY, xeon_8x2x4_params().core, 16 * 1024)
+        assert 0.7e9 < rate < 1.4e9

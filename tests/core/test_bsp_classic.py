@@ -1,0 +1,79 @@
+"""Unit tests for the classic BSP performance model (§3.1)."""
+
+import pytest
+
+from repro.core.bsp_classic import (
+    ClassicBSPParams,
+    comm_cost_flops,
+    comp_cost_flops,
+    h_relation,
+    inner_product_cost_seconds,
+    inner_product_sweep,
+    superstep_seconds,
+)
+
+
+@pytest.fixture
+def params():
+    # Magnitudes from Table 3.1's first row (8-way run).
+    return ClassicBSPParams(p=8, r=991.695e6, g=105.4, l=30575.7)
+
+
+class TestCostEquations:
+    def test_h_relation_max(self):
+        assert h_relation(10, 4) == 10
+        assert h_relation(4, 10) == 10
+
+    def test_comm_cost(self, params):
+        assert comm_cost_flops(params, 100) == pytest.approx(
+            100 * 105.4 + 30575.7
+        )
+
+    def test_comp_cost(self, params):
+        assert comp_cost_flops(params, 1000.0) == pytest.approx(1000.0 + 30575.7)
+
+    def test_superstep_seconds(self, params):
+        t = superstep_seconds(params, w=1e6, h=10)
+        expected = (1e6 + 30575.7 + 10 * 105.4 + 30575.7) / 991.695e6
+        assert t == pytest.approx(expected)
+
+    def test_negative_h_rejected(self):
+        with pytest.raises(ValueError):
+            h_relation(-1, 0)
+
+
+class TestInnerProduct:
+    def test_eq_3_7(self, params):
+        n = 10**8
+        t = inner_product_cost_seconds(params, n)
+        flops = (n / 8) * 2 + params.l + (params.g + params.l) + 8
+        assert t == pytest.approx(flops / params.r)
+
+    def test_sweep_ordering(self):
+        params_by_p = {
+            8: ClassicBSPParams(8, 1e9, 100.0, 3e4),
+            64: ClassicBSPParams(64, 1e9, 1300.0, 4e6),
+        }
+        sweep = inner_product_sweep(params_by_p, 10**8)
+        assert [p for p, _ in sweep] == [8, 64]
+
+    def test_estimate_has_interior_minimum(self):
+        """Fig. 3.2's shape: growing l with p produces a minimum in the
+        estimate while real strong scaling saturates."""
+        params_by_p = {
+            p: ClassicBSPParams(p, 1e9, 100.0, 3e4 * (p / 8) ** 2)
+            for p in (8, 16, 24, 32, 40, 48, 56, 64)
+        }
+        costs = [c for _, c in inner_product_sweep(params_by_p, 10**8)]
+        interior_min = min(range(len(costs)), key=costs.__getitem__)
+        assert 0 < interior_min < len(costs) - 1
+
+
+class TestValidation:
+    def test_bad_parallelism(self):
+        with pytest.raises(ValueError):
+            ClassicBSPParams(p=0, r=1e9, g=1.0, l=1.0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            ClassicBSPParams(p=2, r=0.0, g=1.0, l=1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the fundamental equation of modeling (Eqs. 1.1-1.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fundamental import (
+    SuperstepTerms,
+    derived_overlap,
+    overlap_saving,
+    perfect_overlap_bound,
+    total_time,
+)
+
+
+def terms(comp, comm, comp_m, comm_m, sync=0.0):
+    return SuperstepTerms(
+        t_comp=np.asarray(comp, dtype=float),
+        t_comm=np.asarray(comm, dtype=float),
+        t_comp_maskable=np.asarray(comp_m, dtype=float),
+        t_comm_maskable=np.asarray(comm_m, dtype=float),
+        t_sync=np.asarray(sync, dtype=float),
+    )
+
+
+class TestTotalTime:
+    def test_no_overlap_is_plain_sum(self):
+        t = terms(10.0, 4.0, 0.0, 0.0, sync=1.0)
+        assert total_time(t) == pytest.approx(15.0)
+
+    def test_full_overlap_bounded_by_max(self):
+        t = terms(10.0, 4.0, 10.0, 4.0, sync=1.0)
+        assert total_time(t) == pytest.approx(10.0 + 1.0)
+
+    def test_partial_overlap(self):
+        # 6 of 10 compute can mask 4 of 4 comm: total = 4 + 0 + max(6,4) + 0
+        t = terms(10.0, 4.0, 6.0, 4.0)
+        assert total_time(t) == pytest.approx(4.0 + 6.0)
+
+    def test_vectorised(self):
+        t = terms([10.0, 2.0], [4.0, 8.0], [10.0, 2.0], [4.0, 8.0])
+        np.testing.assert_allclose(total_time(t), [10.0, 8.0])
+
+    def test_maskable_exceeding_total_rejected(self):
+        with pytest.raises(ValueError, match="maskable"):
+            terms(5.0, 4.0, 6.0, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            terms(-1.0, 0.0, 0.0, 0.0)
+
+
+class TestOverlapSaving:
+    def test_eq_1_1_consistency(self):
+        """T_total = T_comp + T_comm - T_overlap + T_sync must hold."""
+        t = terms(10.0, 4.0, 6.0, 3.0, sync=2.0)
+        lhs = total_time(t)
+        rhs = t.t_comp + t.t_comm - overlap_saving(t) + t.t_sync
+        np.testing.assert_allclose(lhs, rhs)
+
+    def test_saving_is_min_of_maskables(self):
+        t = terms(10.0, 4.0, 6.0, 3.0)
+        assert overlap_saving(t) == pytest.approx(3.0)
+
+
+class TestDerivedOverlap:
+    def test_eq_3_16(self):
+        assert derived_overlap(10.0, 4.0, 11.0) == pytest.approx(3.0)
+
+    def test_no_overlap_measured(self):
+        assert derived_overlap(10.0, 4.0, 14.0) == pytest.approx(0.0)
+
+    def test_with_sync(self):
+        assert derived_overlap(10.0, 4.0, 13.0, t_sync=1.0) == pytest.approx(2.0)
+
+
+class TestPerfectOverlapBound:
+    def test_factor_two_limit(self):
+        """Bisseling's remark: perfect overlap at most halves the body."""
+        comp, comm = 7.0, 7.0
+        assert perfect_overlap_bound(comp, comm) == pytest.approx(7.0)
+        assert (comp + comm) / perfect_overlap_bound(comp, comm) == pytest.approx(2.0)
+
+
+@given(
+    comp=st.floats(0.0, 1e3),
+    comm=st.floats(0.0, 1e3),
+    frac_comp=st.floats(0.0, 1.0),
+    frac_comm=st.floats(0.0, 1.0),
+    sync=st.floats(0.0, 10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_total_time_invariants(comp, comm, frac_comp, frac_comm, sync):
+    t = terms(comp, comm, comp * frac_comp, comm * frac_comm, sync)
+    total = float(total_time(t))
+    # Never better than perfect overlap, never worse than no overlap.
+    assert total <= comp + comm + sync + 1e-9
+    assert total >= float(perfect_overlap_bound(comp, comm)) + sync - 1e-9
+    # Eq. 1.1 identity.
+    assert total == pytest.approx(
+        comp + comm - float(overlap_saving(t)) + sync, abs=1e-9
+    )

@@ -1,0 +1,153 @@
+"""Unit tests for the matrix modeling framework (§3.3-3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrix_model import (
+    CommunicationModel,
+    ComputationModel,
+    SuperstepModel,
+)
+
+
+class TestComputationModel:
+    def test_eq_3_10_homogeneous_spmd(self):
+        """Two identical processes running n (=,+,*) operations."""
+        n = 100.0
+        req = np.array([[n, n, n], [n, n, n]])
+        cost = np.full((2, 3), 2.0e-9)
+        model = ComputationModel(req, cost)
+        t = model.superstep_times()
+        np.testing.assert_allclose(t, [3 * n * 2e-9] * 2)
+        assert model.load_imbalance() == 0.0
+
+    def test_eq_3_11_heterogeneous_requirements(self):
+        """DAXPY on one process, vector subtraction on the other: the t
+        vector exposes the load imbalance."""
+        c = 1.0e-9
+        req = np.array(
+            [[100, 100, 0, 100],  # =, +, -, *
+             [100, 0, 100, 0]]
+        )
+        cost = np.full((2, 4), c)
+        model = ComputationModel(req, cost)
+        t = model.superstep_times()
+        assert t[0] == pytest.approx(300 * c)
+        assert t[1] == pytest.approx(200 * c)
+        assert model.load_imbalance() == pytest.approx(100 * c)
+
+    def test_eq_3_12_heterogeneous_processors(self):
+        """§3.3's multiply-accumulate processor halves + and * cost."""
+        n = 100.0
+        req = np.full((2, 3), n)
+        cost = np.array(
+            [[1.0, 1.0, 1.0],
+             [1.0, 0.5, 0.5]]
+        )
+        model = ComputationModel(req, cost)
+        t = model.superstep_times()
+        assert t[0] == pytest.approx(3 * n)
+        assert t[1] == pytest.approx(2 * n)
+
+    def test_cross_mapping_diagonal_is_assignment(self):
+        rng = np.random.default_rng(0)
+        req = rng.uniform(1, 10, (3, 4))
+        cost = rng.uniform(0.1, 1.0, (3, 4))
+        model = ComputationModel(req, cost)
+        cross = model.cross_mapping_costs()
+        np.testing.assert_allclose(np.diag(cross), model.superstep_times())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationModel(np.array([[-1.0]]), np.array([[1.0]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationModel(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_kernel_names_length_checked(self):
+        with pytest.raises(ValueError):
+            ComputationModel(np.ones((2, 2)), np.ones((2, 2)), kernel_names=("a",))
+
+
+class TestCommunicationModel:
+    def test_eq_3_15_row_sums(self):
+        counts = np.array([[0.0, 2.0], [1.0, 0.0]])
+        volumes = np.array([[0.0, 100.0], [50.0, 0.0]])
+        lat = np.full((2, 2), 1e-6)
+        beta = np.full((2, 2), 1e-9)
+        model = CommunicationModel(counts, volumes, lat, beta)
+        t = model.superstep_times()
+        assert t[0] == pytest.approx(2 * 1e-6 + 100 * 1e-9)
+        assert t[1] == pytest.approx(1 * 1e-6 + 50 * 1e-9)
+
+    def test_square_required(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(
+                np.ones((2, 3)), np.ones((2, 3)), np.ones((2, 3)), np.ones((2, 3))
+            )
+
+
+class TestSuperstepModel:
+    def _model(self, comp_t, comm_t, sync=0.0):
+        p = len(comp_t)
+        comp = ComputationModel(
+            np.array(comp_t, dtype=float).reshape(p, 1), np.ones((p, 1))
+        )
+        comm = CommunicationModel(
+            np.diagflat(np.zeros(p)) * 0.0
+            + np.array(comm_t, dtype=float)[:, None] * np.eye(p)[:, ::-1],
+            np.zeros((p, p)),
+            np.ones((p, p)),
+            np.zeros((p, p)),
+        )
+        return SuperstepModel(comp, comm, sync_cost=sync)
+
+    def test_combined_times(self):
+        model = self._model([3.0, 1.0], [0.5, 2.0])
+        np.testing.assert_allclose(model.combined_times(), [3.5, 3.0])
+
+    def test_overlap_eq_3_16(self):
+        model = self._model([3.0, 1.0], [0.5, 2.0])
+        overlap = model.overlap(np.array([3.2, 2.1]))
+        np.testing.assert_allclose(overlap, [0.3, 0.9])
+
+    def test_predict_total_bounds(self):
+        model = self._model([3.0, 1.0], [0.5, 2.0], sync=0.1)
+        full = model.predict_total(comm_maskable_fraction=1.0)
+        none = model.predict_total(comm_maskable_fraction=0.0)
+        assert full <= none
+        assert full == pytest.approx(max(3.0, 2.0) + 0.1)
+        assert none == pytest.approx(3.5 + 0.1)
+
+    def test_fraction_validated(self):
+        model = self._model([1.0], [1.0])
+        with pytest.raises(ValueError):
+            model.predict_total(comm_maskable_fraction=1.5)
+
+    def test_size_mismatch(self):
+        comp = ComputationModel(np.ones((2, 1)), np.ones((2, 1)))
+        comm = CommunicationModel(
+            np.zeros((3, 3)), np.zeros((3, 3)), np.zeros((3, 3)), np.zeros((3, 3))
+        )
+        with pytest.raises(ValueError):
+            SuperstepModel(comp, comm)
+
+
+@given(
+    p=st.integers(1, 6),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_superstep_times_linear_in_requirements(p, k, seed):
+    """Doubling every requirement doubles every superstep time — the
+    linearity the framework is built on."""
+    rng = np.random.default_rng(seed)
+    req = rng.uniform(0, 10, (p, k))
+    cost = rng.uniform(0, 1, (p, k))
+    base = ComputationModel(req, cost).superstep_times()
+    doubled = ComputationModel(2 * req, cost).superstep_times()
+    np.testing.assert_allclose(doubled, 2 * base)

@@ -1,0 +1,92 @@
+"""Unit tests for multi-superstep program models."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix_model import (
+    CommunicationModel,
+    ComputationModel,
+    SuperstepModel,
+)
+from repro.core.program import ProgramModel, ProgramStep, iterate
+
+
+def make_superstep(comp_times, comm_times, sync=0.0):
+    p = len(comp_times)
+    comp = ComputationModel(
+        np.asarray(comp_times, dtype=float).reshape(p, 1), np.ones((p, 1))
+    )
+    counts = np.zeros((p, p))
+    lat = np.zeros((p, p))
+    for i, t in enumerate(comm_times):
+        j = (i + 1) % p
+        counts[i, j] = 1.0
+        lat[i, j] = t
+    comm = CommunicationModel(counts, np.zeros((p, p)), lat, np.zeros((p, p)))
+    return SuperstepModel(comp, comm, sync_cost=sync)
+
+
+class TestProgramModel:
+    def test_total_sums_repetitions(self):
+        step = make_superstep([2.0, 1.0], [0.5, 0.5], sync=0.1)
+        program = iterate(step, 10)
+        assert program.predict_total() == pytest.approx(
+            10 * step.predict_total()
+        )
+        assert program.total_supersteps == 10
+
+    def test_mixed_steps(self):
+        setup = make_superstep([1.0, 1.0], [0.0, 0.0])
+        body = make_superstep([3.0, 3.0], [1.0, 1.0], sync=0.2)
+        program = ProgramModel(
+            steps=(ProgramStep(setup, 1, "setup"), ProgramStep(body, 5, "body"))
+        )
+        expected = setup.predict_total() + 5 * body.predict_total()
+        assert program.predict_total() == pytest.approx(expected)
+
+    def test_overlap_saving_nonnegative(self):
+        step = make_superstep([2.0, 2.0], [1.5, 1.5])
+        program = iterate(step, 4)
+        saving = program.predicted_overlap_saving()
+        assert saving == pytest.approx(4 * 1.5)
+
+    def test_breakdown_shares_sum_to_one(self):
+        a = make_superstep([1.0, 1.0], [0.1, 0.1])
+        b = make_superstep([2.0, 2.0], [0.1, 0.1])
+        program = ProgramModel(
+            steps=(ProgramStep(a, 2, "a"), ProgramStep(b, 3, "b"))
+        )
+        rows = program.step_breakdown()
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+        assert rows[1]["label"] == "b"
+
+    def test_bottleneck_step(self):
+        small = make_superstep([1.0, 1.0], [0.0, 0.0])
+        big = make_superstep([10.0, 10.0], [0.0, 0.0])
+        program = ProgramModel(
+            steps=(ProgramStep(small, 100, "small"), ProgramStep(big, 20, "big"))
+        )
+        assert program.bottleneck_step().label == "big"
+
+    def test_imbalance_profile(self):
+        balanced = make_superstep([2.0, 2.0], [0.0, 0.0])
+        skewed = make_superstep([1.0, 4.0], [0.0, 0.0])
+        program = ProgramModel(
+            steps=(ProgramStep(balanced, 1), ProgramStep(skewed, 1))
+        )
+        np.testing.assert_allclose(program.imbalance_profile(), [0.0, 3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramModel(steps=())
+
+    def test_mixed_sizes_rejected(self):
+        a = make_superstep([1.0, 1.0], [0.0, 0.0])
+        b = make_superstep([1.0, 1.0, 1.0], [0.0, 0.0, 0.0])
+        with pytest.raises(ValueError, match="process count"):
+            ProgramModel(steps=(ProgramStep(a, 1), ProgramStep(b, 1)))
+
+    def test_negative_repetitions_rejected(self):
+        step = make_superstep([1.0], [0.0])
+        with pytest.raises(ValueError):
+            ProgramStep(step, -1)

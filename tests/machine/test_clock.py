@@ -1,0 +1,37 @@
+"""Unit tests for virtual clocks."""
+
+import pytest
+
+from repro.machine.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == 3.0
+
+    def test_advance_to_forward_only(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(3.0)  # no-op: monotone
+        assert clock.now == 5.0
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-0.1)
+
+    def test_repr(self):
+        assert "VirtualClock" in repr(VirtualClock(1.0))

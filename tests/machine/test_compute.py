@@ -1,0 +1,113 @@
+"""Unit tests for the kernel execution-time model (Ch. 4 ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.params import CacheLevel, CoreParams
+from repro.kernels.numeric import DAXPY, STENCIL5, VSUB
+from repro.machine.compute import (
+    application_time,
+    footprint_knees,
+    piecewise_linear_segments,
+    steady_rate_flops,
+    time_per_element,
+)
+
+
+@pytest.fixture
+def core():
+    return CoreParams(
+        flop_rate=2.0e9,
+        cache_levels=(CacheLevel(32 * 1024, 24.0e9), CacheLevel(4 << 20, 12.0e9)),
+        ram_bandwidth=5.0e9,
+        invocation_overhead=2e-7,
+    )
+
+
+class TestTimePerElement:
+    def test_in_cache_faster_than_ram(self, core):
+        fast = time_per_element(DAXPY, core, 1024)
+        slow = time_per_element(DAXPY, core, 64 << 20)
+        assert fast < slow
+
+    def test_kernels_differ(self, core):
+        """§4.1's central claim: the same footprint costs differently per
+        kernel, so one scalar rate cannot describe a processor."""
+        assert time_per_element(DAXPY, core, 1024) != time_per_element(
+            STENCIL5, core, 1024
+        )
+
+    def test_rate_scale_speeds_up(self, core):
+        base = time_per_element(DAXPY, core, 1024)
+        scaled = time_per_element(DAXPY, core, 1024, rate_scale=2.0)
+        assert scaled < base
+
+    def test_fma_halves_flop_term(self):
+        fma_core = CoreParams(
+            flop_rate=1.0e9,
+            cache_levels=(CacheLevel(1 << 20, 1e12),),
+            ram_bandwidth=1e12,
+            multiply_accumulate=True,
+        )
+        plain_core = CoreParams(
+            flop_rate=1.0e9,
+            cache_levels=(CacheLevel(1 << 20, 1e12),),
+            ram_bandwidth=1e12,
+        )
+        # DAXPY is FMA-eligible, VSUB is not.
+        assert time_per_element(DAXPY, fma_core, 64) < time_per_element(
+            DAXPY, plain_core, 64
+        )
+        assert time_per_element(VSUB, fma_core, 64) == time_per_element(
+            VSUB, plain_core, 64
+        )
+
+
+class TestApplicationTime:
+    def test_linear_in_reps(self, core):
+        """Fixed footprint, growing iterations: exactly linear (§4.1)."""
+        t1 = application_time(DAXPY, core, 1024, reps=10)
+        t2 = application_time(DAXPY, core, 1024, reps=20)
+        overhead_free = t2 - t1
+        assert overhead_free == pytest.approx(t1 - application_time(DAXPY, core, 1024, reps=0))
+
+    def test_invocation_overhead_charged_per_rep(self, core):
+        t = application_time(DAXPY, core, 1, reps=4)
+        assert t >= 4 * core.invocation_overhead
+
+    def test_zero_reps_is_free(self, core):
+        assert application_time(DAXPY, core, 1024, reps=0) == 0.0
+
+    def test_footprint_override(self, core):
+        small = application_time(DAXPY, core, 1024, footprint_bytes=1024)
+        big = application_time(DAXPY, core, 1024, footprint_bytes=64 << 20)
+        assert small < big
+
+
+class TestSteadyRate:
+    def test_zero_flop_kernel(self, core):
+        from repro.kernels.blas import SCOPY
+
+        assert steady_rate_flops(SCOPY, core, 1024) == 0.0
+
+    def test_rate_drops_past_cache(self, core):
+        in_cache = steady_rate_flops(DAXPY, core, 16 * 1024)
+        in_ram = steady_rate_flops(DAXPY, core, 64 << 20)
+        assert in_ram < in_cache
+
+
+class TestPiecewiseSegments:
+    def test_knees_match_cache_sizes(self, core):
+        assert footprint_knees(core) == [32 * 1024, 4 << 20]
+
+    def test_segments_cover_range(self, core):
+        segs = piecewise_linear_segments(DAXPY, core, 10 << 20)
+        assert segs[0][0] == 0
+        assert segs[-1][1] == 10 << 20
+        for (lo1, hi1, _), (lo2, _, _) in zip(segs, segs[1:]):
+            assert hi1 == lo2
+
+    def test_gradients_increase_with_footprint(self, core):
+        segs = piecewise_linear_segments(DAXPY, core, 10 << 20)
+        grads = [g for _, _, g in segs]
+        assert grads == sorted(grads)

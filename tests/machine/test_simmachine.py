@@ -1,0 +1,101 @@
+"""Unit tests for the SimMachine facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import presets
+from repro.cluster.noise import QUIET, NoiseModel
+from repro.cluster.topology import Relation
+from repro.kernels.numeric import DAXPY
+from repro.machine.simmachine import SimMachine
+
+
+@pytest.fixture
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=42
+    )
+
+
+class TestRngStreams:
+    def test_same_key_same_stream(self, machine):
+        a = machine.rng("alpha", 3).random(4)
+        b = machine.rng("alpha", 3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self, machine):
+        a = machine.rng("alpha").random(4)
+        b = machine.rng("beta").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_streams(self):
+        m1 = SimMachine(presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=1)
+        m2 = SimMachine(presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=2)
+        assert not np.array_equal(m1.rng("s").random(4), m2.rng("s").random(4))
+
+
+class TestCommTruth:
+    def test_matrices_follow_relations(self, machine):
+        pl = machine.placement(16)
+        truth = machine.comm_truth(pl)
+        rel = pl.relation_matrix()
+        remote_latency = machine.params.links[Relation.REMOTE].latency
+        assert (truth.latency[rel == int(Relation.REMOTE)] == remote_latency).all()
+        assert (np.diag(truth.latency) == 0.0).all()
+
+    def test_symmetric_for_symmetric_links(self, machine):
+        truth = machine.comm_truth(machine.placement(12))
+        np.testing.assert_array_equal(truth.latency, truth.latency.T)
+
+    def test_two_node_parity_structure(self, machine):
+        """Ranks 9..16 straddle two nodes by parity (§5.6.6)."""
+        truth = machine.comm_truth(machine.placement(10))
+        remote = machine.params.links[Relation.REMOTE].latency
+        assert truth.latency[0, 1] == remote  # odd neighbour: other node
+        assert truth.latency[0, 2] < remote  # even neighbour: same node
+
+
+class TestKernelTime:
+    def test_clean_matches_compute_model(self, machine):
+        t = machine.kernel_time_clean(0, DAXPY, 1024, reps=8)
+        assert t > 0
+
+    def test_noisy_reproducible(self, machine):
+        rng1 = machine.rng("k")
+        rng2 = machine.rng("k")
+        t1 = machine.kernel_time(0, DAXPY, 1024, reps=8, rng=rng1)
+        t2 = machine.kernel_time(0, DAXPY, 1024, reps=8, rng=rng2)
+        assert t1 == t2
+
+    def test_no_rng_means_clean(self, machine):
+        assert machine.kernel_time(0, DAXPY, 64) == machine.kernel_time_clean(
+            0, DAXPY, 64
+        )
+
+    def test_heterogeneous_rate_scale(self):
+        params = presets.xeon_8x2x4_params()
+        hetero = SimMachine(
+            presets.xeon_8x2x4_topology(),
+            type(params)(
+                links=params.links,
+                core=params.core,
+                nic_gap=params.nic_gap,
+                recv_overhead=params.recv_overhead,
+                invocation_overhead=params.invocation_overhead,
+                socket_rate_scale={0: 2.0},
+            ),
+            seed=1,
+        )
+        fast = hetero.kernel_time_clean(0, DAXPY, 1024)  # socket 0: scaled
+        slow = hetero.kernel_time_clean(8, DAXPY, 1024)  # node 1, socket 2
+        assert fast < slow
+
+
+class TestPlacementPolicies:
+    def test_unknown_policy(self, machine):
+        with pytest.raises(ValueError, match="policy"):
+            machine.placement(4, policy="scatter")
+
+    def test_block_policy(self, machine):
+        pl = machine.placement(10, policy="block")
+        assert pl.cores.tolist() == list(range(10))

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event stage engine (§5.6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.barriers.patterns import (
+    dissemination_barrier,
+    linear_barrier,
+    tree_barrier,
+)
+from repro.cluster import presets
+from repro.cluster.noise import QUIET
+from repro.machine.simmachine import SimMachine
+from repro.simmpi.engine import simulate_stages, stage_payload_matrix
+
+
+@pytest.fixture
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(),
+        presets.xeon_8x2x4_params(),
+        noise=QUIET,
+        seed=11,
+    )
+
+
+def run_clean(machine, pattern, nprocs, payload=None, entry=None):
+    placement = machine.placement(nprocs)
+    truth = machine.comm_truth(placement)
+    return simulate_stages(
+        truth, pattern.stages, payload_bytes=payload, entry_times=entry
+    )
+
+
+class TestEngineBasics:
+    def test_deterministic_without_rng(self, machine):
+        p = 8
+        pattern = tree_barrier(p)
+        a = run_clean(machine, pattern, p)
+        b = run_clean(machine, pattern, p)
+        np.testing.assert_array_equal(a, b)
+
+    def test_exits_nonnegative_and_finite(self, machine):
+        exits = run_clean(machine, dissemination_barrier(16), 16)
+        assert np.isfinite(exits).all()
+        assert (exits >= 0).all()
+
+    def test_empty_stage_costs_nothing(self, machine):
+        placement = machine.placement(4)
+        truth = machine.comm_truth(placement)
+        exits = simulate_stages(truth, [np.zeros((4, 4), dtype=bool)])
+        np.testing.assert_array_equal(exits, np.zeros(4))
+
+    def test_entry_times_respected(self, machine):
+        p = 4
+        pattern = linear_barrier(p)
+        late = np.array([0.0, 0.0, 0.0, 5.0])
+        exits = run_clean(machine, pattern, p, entry=late)
+        # A 5-second straggler delays everyone past 5 seconds (barrier
+        # semantics: §5.5's empirical verification method).
+        assert (exits > 5.0).all()
+
+    def test_straggler_delay_visible_per_process(self, machine):
+        """The §5.5 verification protocol: delaying each process in turn
+        must show in overall completion time."""
+        p = 6
+        pattern = dissemination_barrier(p)
+        base = run_clean(machine, pattern, p).max()
+        for victim in range(p):
+            entry = np.zeros(p)
+            entry[victim] = 1.0
+            delayed = run_clean(machine, pattern, p, entry=entry).max()
+            assert delayed >= 1.0 + 0.5 * base
+
+
+class TestLocalityCosts:
+    def test_remote_costs_more_than_local(self, machine):
+        """One remote signal must cost more than one same-socket signal."""
+        p = 10  # two nodes by parity
+        placement = machine.placement(p)
+        truth = machine.comm_truth(placement)
+        local = np.zeros((p, p), dtype=bool)
+        local[0, 2] = True  # same node
+        remote = np.zeros((p, p), dtype=bool)
+        remote[0, 1] = True  # other node by parity
+        t_local = simulate_stages(truth, [local]).max()
+        t_remote = simulate_stages(truth, [remote]).max()
+        assert t_remote > 2 * t_local
+
+    def test_nic_serialises_fanout(self, machine):
+        """Many remote sends from one node take longer than one, by at
+        least the NIC gap per extra message."""
+        p = 16
+        placement = machine.placement(p)
+        truth = machine.comm_truth(placement)
+        one = np.zeros((p, p), dtype=bool)
+        one[0, 1] = True
+        many = np.zeros((p, p), dtype=bool)
+        many[0, [1, 3, 5, 7, 9]] = True
+        t_one = simulate_stages(truth, [one]).max()
+        t_many = simulate_stages(truth, [many]).max()
+        assert t_many > t_one + 3 * truth.nic_gap
+
+    def test_payload_adds_transfer_time(self, machine):
+        p = 4
+        pattern = linear_barrier(p)
+        t0 = run_clean(machine, pattern, p).max()
+        t1 = run_clean(machine, pattern, p, payload=1_000_000.0).max()
+        assert t1 > t0
+
+
+class TestNoiseIntegration:
+    def test_noisy_runs_vary(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=3
+        )
+        placement = machine.placement(8)
+        truth = machine.comm_truth(placement)
+        rng = machine.rng("engine-noise")
+        pattern = dissemination_barrier(8)
+        a = simulate_stages(truth, pattern.stages, rng=rng, noise=machine.noise).max()
+        b = simulate_stages(truth, pattern.stages, rng=rng, noise=machine.noise).max()
+        assert a != b
+
+    def test_noise_reproducible_across_streams(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=3
+        )
+        placement = machine.placement(8)
+        truth = machine.comm_truth(placement)
+        pattern = dissemination_barrier(8)
+        a = simulate_stages(
+            truth, pattern.stages, rng=machine.rng("x"), noise=machine.noise
+        )
+        b = simulate_stages(
+            truth, pattern.stages, rng=machine.rng("x"), noise=machine.noise
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPayloadSpec:
+    def test_none_is_zero(self):
+        np.testing.assert_array_equal(
+            stage_payload_matrix(None, 0, 3), np.zeros((3, 3))
+        )
+
+    def test_scalar_broadcast(self):
+        out = stage_payload_matrix(64.0, 2, 2)
+        np.testing.assert_array_equal(out, np.full((2, 2), 64.0))
+
+    def test_per_stage_scalars(self):
+        out = stage_payload_matrix([1.0, 2.0], 1, 2)
+        np.testing.assert_array_equal(out, np.full((2, 2), 2.0))
+
+    def test_per_stage_matrix(self):
+        mats = [np.ones((2, 2)), 3.0 * np.ones((2, 2))]
+        out = stage_payload_matrix(mats, 0, 2)
+        np.testing.assert_array_equal(out, np.ones((2, 2)))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            stage_payload_matrix([np.ones((3, 3))], 0, 2)
+
+
+class TestValidationErrors:
+    def test_wrong_stage_shape(self, machine):
+        placement = machine.placement(4)
+        truth = machine.comm_truth(placement)
+        with pytest.raises(ValueError, match="wrong shape"):
+            simulate_stages(truth, [np.zeros((3, 3), dtype=bool)])
+
+    def test_wrong_entry_shape(self, machine):
+        placement = machine.placement(4)
+        truth = machine.comm_truth(placement)
+        with pytest.raises(ValueError, match="entry_times"):
+            simulate_stages(
+                truth,
+                [np.zeros((4, 4), dtype=bool)],
+                entry_times=np.zeros(3),
+            )

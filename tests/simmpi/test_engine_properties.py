@@ -1,0 +1,101 @@
+"""Property-based tests of event-engine invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.barriers.patterns import (
+    dissemination_barrier,
+    from_stages,
+    linear_barrier,
+    tree_barrier,
+)
+from repro.cluster import presets
+from repro.cluster.noise import QUIET
+from repro.machine import SimMachine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(),
+        presets.xeon_8x2x4_params(),
+        noise=QUIET,
+        seed=131,
+    )
+
+
+def run(machine, stages, p, entry=None, payload=None):
+    from repro.simmpi.engine import simulate_stages
+
+    placement = machine.placement(p)
+    truth = machine.comm_truth(placement)
+    return simulate_stages(
+        truth, stages, entry_times=entry, payload_bytes=payload
+    )
+
+
+@given(
+    p=st.integers(2, 24),
+    factory_idx=st.integers(0, 2),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_exits_never_before_entries(p, factory_idx, seed):
+    machine = SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+        noise=QUIET, seed=7,
+    )
+    if p > machine.topology.total_cores:
+        return
+    factory = (linear_barrier, tree_barrier, dissemination_barrier)[factory_idx]
+    rng = np.random.default_rng(seed)
+    entry = rng.uniform(0, 1e-3, p)
+    exits = run(machine, factory(p).stages, p, entry=entry)
+    assert (exits >= entry - 1e-15).all()
+
+
+@given(p=st.integers(2, 16), seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_barrier_exit_after_global_max_entry(p, seed):
+    """Any correct barrier's exits all follow the latest entry: nobody can
+    leave before the straggler arrived."""
+    machine = SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+        noise=QUIET, seed=7,
+    )
+    rng = np.random.default_rng(seed)
+    entry = rng.uniform(0, 1e-3, p)
+    exits = run(machine, dissemination_barrier(p).stages, p, entry=entry)
+    assert (exits >= entry.max() - 1e-15).all()
+
+
+class TestMonotonicity:
+    def test_extra_message_never_speeds_up(self, machine):
+        """Adding a signal to a stage can only keep or raise exit times."""
+        p = 12
+        base = dissemination_barrier(p)
+        extra_stages = [s.copy() for s in base.stages]
+        extra_stages[0][3, 7] = True  # one more signal in stage 0
+        augmented = from_stages("augmented", extra_stages)
+        t_base = run(machine, base.stages, p)
+        t_aug = run(machine, augmented.stages, p)
+        assert (t_aug >= t_base - 1e-15).all()
+
+    def test_payload_monotone(self, machine):
+        p = 8
+        pattern = dissemination_barrier(p)
+        small = run(machine, pattern.stages, p, payload=64.0).max()
+        large = run(machine, pattern.stages, p, payload=64_000.0).max()
+        assert large > small
+
+    def test_slower_entry_never_earlier_exit(self, machine):
+        p = 8
+        pattern = tree_barrier(p)
+        base_entry = np.zeros(p)
+        late_entry = base_entry.copy()
+        late_entry[3] = 1e-4
+        t_base = run(machine, pattern.stages, p, entry=base_entry)
+        t_late = run(machine, pattern.stages, p, entry=late_entry)
+        assert (t_late >= t_base - 1e-15).all()

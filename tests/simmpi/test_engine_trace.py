@@ -1,0 +1,39 @@
+"""Tests for the engine's optional stage tracing."""
+
+import numpy as np
+
+from repro.barriers.patterns import tree_barrier
+from repro.cluster import presets
+from repro.cluster.noise import QUIET
+from repro.machine import SimMachine
+from repro.simmpi.engine import StageEventTrace, simulate_stages
+
+
+class TestTrace:
+    def test_trace_records_nonempty_stages(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=171,
+        )
+        pattern = tree_barrier(8)
+        placement = machine.placement(8)
+        truth = machine.comm_truth(placement)
+        trace: list[StageEventTrace] = []
+        simulate_stages(truth, pattern.stages, trace=trace)
+        assert len(trace) == pattern.num_stages
+        message_counts = [t.messages for t in trace]
+        # Arrival halves 4,2,1; release mirrors 1,2,4.
+        assert message_counts == [4, 2, 1, 1, 2, 4]
+        for record in trace:
+            assert record.exit.shape == (8,)
+
+    def test_empty_stage_not_traced(self):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=172,
+        )
+        placement = machine.placement(4)
+        truth = machine.comm_truth(placement)
+        trace: list[StageEventTrace] = []
+        simulate_stages(truth, [np.zeros((4, 4), dtype=bool)], trace=trace)
+        assert trace == []

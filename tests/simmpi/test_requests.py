@@ -1,0 +1,68 @@
+"""Tests for the persistent-request barrier facade (Fig. 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.barriers.patterns import dissemination_barrier, linear_barrier
+from repro.barriers.simulate import measure_barrier
+from repro.cluster import presets
+from repro.machine import SimMachine
+from repro.simmpi import PersistentBarrier
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=121
+    )
+
+
+class TestPersistentBarrier:
+    def test_request_lists_mirror_pattern(self, machine):
+        pattern = linear_barrier(4)
+        barrier = PersistentBarrier(machine, pattern, machine.placement(4))
+        arrive = barrier.stages[0]
+        assert len(arrive.sends) == 3
+        assert len(arrive.receives) == 3
+        assert all(r.destination == 0 for r in arrive.sends)
+
+    def test_requests_of_rank(self, machine):
+        pattern = linear_barrier(4)
+        barrier = PersistentBarrier(machine, pattern, machine.placement(4))
+        master_stage0 = barrier.requests_of(0, 0)
+        assert len(master_stage0) == 3  # three inbound receives
+        assert all(not r.is_send for r in master_stage0)
+        leaf_stage0 = barrier.requests_of(2, 0)
+        assert len(leaf_stage0) == 1
+        assert leaf_stage0[0].is_send
+
+    def test_execute_matches_engine(self, machine):
+        """Replaying persistent requests must equal the direct engine run
+        (same clean event semantics)."""
+        pattern = dissemination_barrier(8)
+        placement = machine.placement(8)
+        barrier = PersistentBarrier(machine, pattern, placement)
+        from repro.simmpi.engine import simulate_stages
+
+        direct = simulate_stages(barrier.truth, pattern.stages)
+        via_requests = barrier.execute()
+        np.testing.assert_array_equal(direct, via_requests)
+
+    def test_timed_runs_match_measure_protocol_scale(self, machine):
+        pattern = dissemination_barrier(16)
+        placement = machine.placement(16)
+        barrier = PersistentBarrier(machine, pattern, placement)
+        runs = barrier.timed_runs(16)
+        reference = measure_barrier(machine, pattern, placement, runs=16)
+        assert runs.mean() == pytest.approx(reference.mean_worst, rel=0.5)
+
+    def test_size_mismatch_rejected(self, machine):
+        with pytest.raises(ValueError):
+            PersistentBarrier(machine, linear_barrier(4), machine.placement(8))
+
+    def test_runs_validated(self, machine):
+        barrier = PersistentBarrier(
+            machine, linear_barrier(4), machine.placement(4)
+        )
+        with pytest.raises(ValueError):
+            barrier.timed_runs(0)

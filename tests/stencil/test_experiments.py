@@ -1,0 +1,64 @@
+"""Unit tests for the Chapter 8 experiment harness."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.machine import SimMachine
+from repro.stencil.experiments import (
+    IMPLEMENTATIONS,
+    default_configurations,
+    run_strong_scaling,
+    scaling_rows,
+    wall_time_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=101
+    )
+
+
+class TestConfigurations:
+    def test_matrix_coverage(self):
+        configs = default_configurations()
+        assert len(configs) == 8  # 4 implementations x 2 problem sizes
+        labels = [cfg.label for cfg in configs]
+        assert len(set(labels)) == len(labels)
+
+    def test_max_procs_respected(self):
+        configs = default_configurations(max_procs=16)
+        for cfg in configs:
+            assert max(cfg.process_counts) <= 16
+
+    def test_describe_row(self):
+        cfg = default_configurations()[0]
+        row = cfg.describe()
+        assert len(row) == 5
+        assert "x" in row[2]
+
+
+class TestStrongScalingHarness:
+    def test_all_implementations_run(self, machine):
+        results = run_strong_scaling(
+            machine, list(IMPLEMENTATIONS), 256, (4, 8), iterations=2
+        )
+        assert set(results) == set(IMPLEMENTATIONS)
+        for per_count in results.values():
+            assert set(per_count) == {4, 8}
+
+    def test_scaling_rows_format(self, machine):
+        results = run_strong_scaling(machine, ["MPI"], 256, (4, 8), iterations=2)
+        rows = scaling_rows(results)
+        assert [row[0] for row in rows] == [4, 8]
+        assert all(len(row) == 2 for row in rows)
+
+
+class TestWallTimeRows:
+    def test_table_8_2_columns(self, machine):
+        rows = wall_time_rows(machine, 512, (8, 16), iterations=2, noisy=False)
+        assert len(rows) == 2
+        for p, t_mpi, t_mpir, ratio in rows:
+            assert t_mpi > 0 and t_mpir > 0
+            assert ratio == pytest.approx(t_mpi / t_mpir)

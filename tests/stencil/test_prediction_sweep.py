@@ -1,0 +1,42 @@
+"""Tests for the B-series prediction sweep harness."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.machine import SimMachine
+from repro.stencil.predictor import prediction_sweep
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=161
+    )
+
+
+class TestPredictionSweep:
+    def test_bsp_sweep(self, machine):
+        preds = prediction_sweep(machine, 256, (4, 8), kind="bsp",
+                                 comm_samples=5)
+        assert set(preds) == {4, 8}
+        for pred in preds.values():
+            assert pred.per_iteration > 0
+            assert pred.t_sync > 0
+
+    def test_mpi_kinds(self, machine):
+        plain = prediction_sweep(machine, 256, (8,), kind="mpi",
+                                 comm_samples=5)[8]
+        overlap = prediction_sweep(machine, 256, (8,), kind="mpi+r",
+                                   comm_samples=5)[8]
+        assert plain.name == "MPI"
+        assert overlap.name == "MPI+R"
+        assert overlap.per_iteration <= plain.per_iteration
+
+    def test_unknown_kind(self, machine):
+        with pytest.raises(ValueError, match="unknown prediction kind"):
+            prediction_sweep(machine, 256, (4,), kind="magic")
+
+    def test_strong_scaling_trend(self, machine):
+        preds = prediction_sweep(machine, 1024, (4, 16, 64), kind="bsp",
+                                 comm_samples=5)
+        assert preds[64].per_iteration < preds[4].per_iteration

@@ -1,0 +1,68 @@
+"""Unit tests for the 17-region block split (Fig. 8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.regions import (
+    block_regions,
+    border_cell_count,
+    compute_regions,
+    ghost_regions,
+    interior_cell_count,
+)
+
+
+class TestBlockRegions:
+    def test_exactly_seventeen(self):
+        assert len(block_regions(8, 10)) == 17
+
+    def test_kind_census(self):
+        regions = block_regions(8, 10)
+        kinds = {}
+        for r in regions:
+            kinds[r.kind] = kinds.get(r.kind, 0) + 1
+        assert kinds == {"interior": 1, "border": 4, "corner": 4, "ghost": 8}
+
+    def test_owned_regions_tile_owned_area(self):
+        h, w = 7, 9
+        marker = np.zeros((h + 2, w + 2), dtype=int)
+        for region in block_regions(h, w):
+            if region.kind != "ghost":
+                marker[region.rows, region.cols] += 1
+        assert (marker[1 : h + 1, 1 : w + 1] == 1).all()
+        # Owned regions never touch the ghost frame.
+        assert marker[0, :].sum() == 0 and marker[-1, :].sum() == 0
+        assert marker[:, 0].sum() == 0 and marker[:, -1].sum() == 0
+
+    def test_ghost_regions_tile_frame(self):
+        h, w = 5, 6
+        marker = np.zeros((h + 2, w + 2), dtype=int)
+        for region in ghost_regions(h, w):
+            marker[region.rows, region.cols] += 1
+        assert marker[0, :].tolist() == [1] * (w + 2)
+        assert marker[-1, :].tolist() == [1] * (w + 2)
+        assert (marker[1:-1, 0] == 1).all() and (marker[1:-1, -1] == 1).all()
+        assert (marker[1:-1, 1:-1] == 0).all()
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            block_regions(2, 5)
+
+
+class TestComputeOrder:
+    def test_borders_before_interior(self):
+        order = compute_regions(6, 6)
+        kinds = [r.kind for r in order]
+        assert kinds[-1] == "interior"
+        assert set(kinds[:-1]) == {"border", "corner"}
+
+    def test_cell_counts_consistent(self):
+        h, w = 11, 13
+        assert border_cell_count(h, w) + interior_cell_count(h, w) == h * w
+        assert border_cell_count(h, w) == 2 * h + 2 * w - 4
+
+    def test_region_cell_count_matches_slice(self):
+        h, w = 6, 8
+        u = np.zeros((h + 2, w + 2))
+        for region in block_regions(h, w):
+            assert region.of(u).size == region.cell_count(h, w)

@@ -1,0 +1,91 @@
+"""Unit tests for argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    require_in_range,
+    require_int,
+    require_matrix,
+    require_nonnegative,
+    require_positive,
+)
+
+
+class TestRequireInt:
+    def test_accepts_python_int(self):
+        assert require_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert require_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="x"):
+            require_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_int(2.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            require_int("3", "x")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            require_positive(float("inf"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive(True, "x")
+
+
+class TestRequireNonnegative:
+    def test_accepts_zero(self):
+        assert require_nonnegative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_nonnegative(-1e-9, "x")
+
+
+class TestRequireInRange:
+    def test_bounds_inclusive(self):
+        assert require_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert require_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(1.1, "x", 0.0, 1.0)
+
+
+class TestRequireMatrix:
+    def test_returns_float_array(self):
+        out = require_matrix([[1, 2], [3, 4]], "m")
+        assert out.dtype == float
+        assert out.shape == (2, 2)
+
+    def test_enforces_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            require_matrix(np.zeros((2, 3)), "m", (3, 3))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            require_matrix([1.0, 2.0], "m")
