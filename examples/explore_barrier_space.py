@@ -1,0 +1,112 @@
+"""Design-space exploration over the barrier design space.
+
+One campaign spec replaces the copy-pasted Chapter 5 sweep scripts: rank
+four barrier families on the three calibrated platforms at three process
+counts (36 design points), then extract the measured-cost/message-count
+Pareto frontier per platform.
+
+The run demonstrates the three campaign-engine guarantees:
+
+1. a second invocation is served (almost) entirely from the on-disk
+   result cache,
+2. the multiprocessing executor returns bit-identical results to the
+   serial one, and
+3. expansion order — and therefore every downstream table — is
+   deterministic.
+
+Run:  python examples/explore_barrier_space.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.explore import DesignSpace, run_campaign
+from repro.util.tables import format_table
+
+SPACE = DesignSpace.from_dict({
+    "axes": {
+        "preset": ["xeon-8x2x4", "xeon-8x2x4-ib", "opteron-12x2x6"],
+        "pattern": ["linear", "tree", "dissemination", "pairwise"],
+        "nprocs": [8, 16, 32],
+    },
+    # Shared experiment knobs ride along as constants (and are part of
+    # every point's cache key).
+    "constants": {"runs": 8, "comm_samples": 3},
+})
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as store:
+        print(f"campaign: {len(SPACE.expand())} design points "
+              f"(3 presets x 4 patterns x 3 process counts)\n")
+
+        first = run_campaign(
+            "barrier-ranking", SPACE, "barrier-cost", store_dir=store
+        )
+        stats = first.stats
+        print(f"first run:  {stats.evaluated} evaluated, "
+              f"{stats.cached} cached ({stats.cache_hit_rate:.0%} hit rate)")
+
+        second = run_campaign(
+            "barrier-ranking", SPACE, "barrier-cost", store_dir=store
+        )
+        stats = second.stats
+        print(f"second run: {stats.evaluated} evaluated, "
+              f"{stats.cached} cached ({stats.cache_hit_rate:.0%} hit rate)")
+        assert stats.cache_hit_rate >= 0.9, "cache must serve the re-run"
+        assert second.results == first.results
+
+        parallel = run_campaign(
+            "barrier-ranking-par", SPACE, "barrier-cost",
+            executor="process", workers=2,
+        )
+        identical = [r.metrics for r in parallel.results] == [
+            r.metrics for r in first.results
+        ]
+        print(f"parallel executor bit-identical to serial: {identical}")
+        assert identical
+
+        results = second.results
+
+        # ---- pattern ranking per platform (the Figs. 5.6-5.13 question) --
+        print("\nmeasured cost [us] by platform and pattern (P=32):")
+        at32 = results.filter(nprocs=32)
+        patterns = ["linear", "tree", "dissemination", "pairwise"]
+        rows = []
+        for (preset,), sub in at32.group_by("preset").items():
+            row = [preset]
+            for pattern in patterns:
+                (record,) = sub.filter(pattern=pattern).records
+                row.append(record.metrics["measured_s"] * 1e6)
+            best = sub.best("measured_s")
+            row.append(best.point["pattern"])
+            rows.append(row)
+        print(format_table(
+            ["preset"] + [f"{p} [us]" for p in patterns] + ["winner"], rows
+        ))
+
+        # ---- model quality across the whole space ------------------------
+        worst = results.rank_by("rel_error", ascending=False)[0]
+        print(f"\nlargest relative model error: "
+              f"{worst.metrics['rel_error']:+.1%} "
+              f"({worst.point['pattern']}, P={worst.point['nprocs']}, "
+              f"{worst.point['preset']})")
+
+        # ---- Pareto frontier: measured cost vs message budget ------------
+        print("\nPareto frontier (minimise measured cost AND total messages):")
+        front = results.pareto_front(["measured_s", "total_messages"])
+        rows = [
+            [
+                r.point["preset"], r.point["pattern"], r.point["nprocs"],
+                r.metrics["measured_s"] * 1e6, r.metrics["total_messages"],
+            ]
+            for r in front
+        ]
+        print(format_table(
+            ["preset", "pattern", "P", "measured [us]", "messages"], rows
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ from repro.adapt.hybrid import (
     flat_defaults,
 )
 from repro.adapt.greedy import AdaptedBarrier, greedy_adapt
+from repro.adapt.evaluate import AdaptEvaluation, evaluate_adaptation
 from repro.adapt.online import (
     AdaptationEvent,
     OnlineBarrierAdapter,
@@ -37,4 +38,6 @@ __all__ = [
     "flat_defaults",
     "AdaptedBarrier",
     "greedy_adapt",
+    "AdaptEvaluation",
+    "evaluate_adaptation",
 ]

@@ -29,6 +29,11 @@ from repro.barriers.cost_model import (
     critical_path_recursive,
 )
 from repro.barriers.simulate import BarrierTiming, measure_barrier, measure_barrier_sweep
+from repro.barriers.evaluate import (
+    BarrierEvaluation,
+    evaluate_barrier,
+    profile_placement,
+)
 from repro.barriers import asymptotic
 
 __all__ = [
@@ -57,5 +62,8 @@ __all__ = [
     "BarrierTiming",
     "measure_barrier",
     "measure_barrier_sweep",
+    "BarrierEvaluation",
+    "evaluate_barrier",
+    "profile_placement",
     "asymptotic",
 ]

@@ -15,6 +15,9 @@ magnitude windows:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 from repro.cluster.params import CacheLevel, ClusterParams, CoreParams, LinkParams
 from repro.cluster.topology import Relation, Topology
 
@@ -129,3 +132,107 @@ def athlon_x2_params() -> ClusterParams:
 
 def athlon_x2_topology() -> Topology:
     return Topology(nodes=1, sockets_per_node=1, cores_per_socket=2, name="athlon-x2")
+
+
+# --------------------------------------------------------------- registry
+
+@dataclass(frozen=True)
+class ClusterPreset:
+    """A named, calibrated platform: parameter and topology factories.
+
+    Factories (rather than instances) keep presets immutable-by-use: every
+    lookup builds fresh objects, so campaigns and tests can never corrupt
+    each other through a shared topology.
+    """
+
+    name: str
+    params_factory: Callable[[], ClusterParams]
+    topology_factory: Callable[[], Topology]
+    description: str = ""
+
+    def params(self) -> ClusterParams:
+        return self.params_factory()
+
+    def topology(self) -> Topology:
+        return self.topology_factory()
+
+    @property
+    def total_cores(self) -> int:
+        return self.topology().total_cores
+
+    def scaled_topology(self, nodes: int) -> Topology:
+        """The same node design scaled to ``nodes`` nodes (a weak-scaling
+        axis for design-space exploration)."""
+        base = self.topology()
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        return Topology(
+            nodes=nodes,
+            sockets_per_node=base.sockets_per_node,
+            cores_per_socket=base.cores_per_socket,
+            name=f"{base.name}@{nodes}n",
+        )
+
+
+PRESETS: dict[str, ClusterPreset] = {}
+
+
+def register_preset(preset: ClusterPreset) -> ClusterPreset:
+    """Register a preset under its name; later registrations override."""
+    PRESETS[preset.name] = preset
+    return preset
+
+
+def get_preset(name: str) -> ClusterPreset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown cluster preset {name!r} (known: {known})") from None
+
+
+def preset_names() -> list[str]:
+    return sorted(PRESETS)
+
+
+def make_preset_machine(name: str, *, nodes: int | None = None, seed: int = 2012,
+                        noise=None):
+    """Build a :class:`~repro.machine.simmachine.SimMachine` from a preset
+    name — the string-referenceable entry point design-space specs use."""
+    from repro.machine.simmachine import SimMachine
+
+    preset = get_preset(name)
+    topology = preset.topology() if nodes is None else preset.scaled_topology(nodes)
+    return SimMachine(topology, preset.params(), noise=noise, seed=seed)
+
+
+register_preset(ClusterPreset(
+    name="xeon-8x2x4",
+    params_factory=xeon_8x2x4_params,
+    topology_factory=xeon_8x2x4_topology,
+    description="8 nodes x 2 sockets x 4-core Xeon, gigabit ethernet (§5.6.6)",
+))
+register_preset(ClusterPreset(
+    name="xeon-8x2x4-ib",
+    params_factory=xeon_8x2x4_ib_params,
+    topology_factory=xeon_8x2x4_topology,
+    description="the Xeon cluster on an InfiniBand-class interconnect (§9.2.4)",
+))
+register_preset(ClusterPreset(
+    name="opteron-12x2x6",
+    params_factory=opteron_12x2x6_params,
+    topology_factory=opteron_12x2x6_topology,
+    description="12 nodes x 2 sockets x 6-core Opteron, gigabit ethernet (§5.6.6)",
+))
+register_preset(ClusterPreset(
+    name="cluster-10x2x6",
+    params_factory=opteron_12x2x6_params,
+    topology_factory=cluster_10x2x6_topology,
+    description="10-node 2x6 configuration of the Table 7.2 SSS study",
+))
+register_preset(ClusterPreset(
+    name="athlon-x2",
+    params_factory=athlon_x2_params,
+    topology_factory=athlon_x2_topology,
+    description="dual-core Athlon X2 workstation for the BLAS sweeps (§4.2)",
+))

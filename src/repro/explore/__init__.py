@@ -1,0 +1,68 @@
+"""Declarative design-space exploration and experiment campaigns.
+
+The exploration layer turns the repository's calibrated models into the
+workflow the thesis argues for: ask cross-configuration questions (which
+barrier pattern wins on which platform? how does the prediction error
+scale?) as *data* — a design space and an experiment name — instead of
+bespoke benchmark scripts.
+
+* :mod:`repro.explore.space`       — ``ParamSpec`` / ``DesignSpace`` /
+                                     ``DesignPoint`` with stable hashing
+* :mod:`repro.explore.campaign`    — the resumable ``Campaign`` runner and
+                                     serial/multiprocessing executors
+* :mod:`repro.explore.cache`       — the append-only JSONL result cache
+* :mod:`repro.explore.results`     — ``ResultSet`` queries: filter,
+                                     group-by, rank, Pareto front
+* :mod:`repro.explore.experiments` — the experiment registry and built-in
+                                     thesis adapters
+* :mod:`repro.explore.cli`         — ``python -m repro.explore``
+"""
+
+from repro.explore.space import ParamSpec, DesignPoint, DesignSpace, canonical_json
+from repro.explore.cache import ResultCache, record_key
+from repro.explore.results import ResultRecord, ResultSet
+from repro.explore.experiments import (
+    EXPERIMENTS,
+    PATTERN_FAMILIES,
+    Experiment,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_point,
+)
+from repro.explore.campaign import (
+    Campaign,
+    CampaignOutcome,
+    CampaignPointError,
+    CampaignStats,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    run_campaign,
+)
+
+__all__ = [
+    "ParamSpec",
+    "DesignPoint",
+    "DesignSpace",
+    "canonical_json",
+    "ResultCache",
+    "record_key",
+    "ResultRecord",
+    "ResultSet",
+    "EXPERIMENTS",
+    "PATTERN_FAMILIES",
+    "Experiment",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_point",
+    "Campaign",
+    "CampaignOutcome",
+    "CampaignPointError",
+    "CampaignStats",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "run_campaign",
+]

@@ -1,0 +1,83 @@
+"""Append-only JSONL result cache keyed by content hash.
+
+The cache is what makes campaigns resumable and cheap to re-run: a record
+is stored under ``sha256(experiment, point)`` the first time its point is
+evaluated, and every later campaign — same process or a fresh one — is
+served from disk.  Appending a line per result keeps writes crash-safe
+(a torn final line is detected and ignored on load) and lets several
+sequential campaigns share one store directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Iterator, Mapping
+
+from repro.explore.space import canonical_json
+
+
+def record_key(experiment: str, point: Mapping[str, Any]) -> str:
+    """Stable cache key for one (experiment, design-point) evaluation."""
+    payload = canonical_json({"experiment": experiment, "point": dict(point)})
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """A dict-like view over one append-only JSONL file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._records: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    self._records[entry["key"]] = entry["record"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A torn tail line from an interrupted run is expected;
+                    # everything before it is still valid.
+                    continue
+
+    # ------------------------------------------------------------- queries
+
+    def get(self, key: str) -> dict | None:
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------- updates
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Store one record, appending it durably to the backing file."""
+        entry = {"key": key, "record": dict(record)}
+        # Round-trip through JSON so the in-memory record is bit-identical
+        # to what a later session will load from disk.
+        line = json.dumps(entry, sort_keys=True)
+        self._records[key] = json.loads(line)["record"]
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def clear(self) -> None:
+        self._records.clear()
+        if os.path.exists(self.path):
+            os.remove(self.path)

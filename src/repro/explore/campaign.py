@@ -1,0 +1,277 @@
+"""Campaign runner: design space × experiment → cached, ordered results.
+
+A :class:`Campaign` materialises every point of a :class:`DesignSpace`,
+evaluates the points not already present in its result cache through a
+pluggable executor (in-process serial, or a ``multiprocessing`` pool), and
+returns a :class:`ResultSet` in deterministic expansion order together
+with run statistics.  Because every record is keyed by content hash and
+persisted as it is produced, campaigns are resumable: interrupting a run
+loses at most the in-flight points, and re-running is a pure cache read.
+
+Executor equivalence is a design invariant, not an accident: workers are
+handed ``(experiment name, point dict)`` — plain picklable data — and the
+runner reassembles records in point order, so the serial and parallel
+executors produce bit-identical result sets.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.explore.cache import ResultCache, record_key
+from repro.explore.experiments import run_point
+from repro.explore.results import ResultRecord, ResultSet
+from repro.explore.space import DesignPoint, DesignSpace, jsonable
+
+
+def _jsonify_metrics(value: Any) -> dict:
+    """Coerce experiment output to a plain JSON dict so fresh records are
+    bit-identical to their cached round-trip."""
+    if not isinstance(value, dict):
+        raise TypeError(
+            f"experiment must return a metrics dict, got {type(value).__name__}"
+        )
+    return json.loads(json.dumps(jsonable(value, "experiment metrics")))
+
+
+def _evaluate(task: tuple[str, dict]) -> tuple[bool, dict]:
+    """Worker entry point: evaluate one (experiment, point) task.
+
+    Returns ``(ok, metrics-or-error)`` rather than raising, so one failed
+    point cannot poison a whole pool map.  Module-level by necessity: the
+    parallel executor pickles it by reference.
+    """
+    experiment, params = task
+    try:
+        return True, _jsonify_metrics(run_point(experiment, params))
+    except Exception as exc:  # noqa: BLE001 — reported, never swallowed
+        return False, {
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+class SerialExecutor:
+    """In-process, in-order evaluation."""
+
+    name = "serial"
+
+    def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
+        return [_evaluate(task) for task in tasks]
+
+
+class ProcessPoolExecutor:
+    """``multiprocessing.Pool`` evaluation, order-preserving.
+
+    Uses the fork start method where available so experiments registered
+    at runtime (e.g. in tests) exist in the workers; falls back to spawn,
+    under which only importable experiments resolve.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers
+
+    def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
+        if not tasks:
+            return []
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        workers = self.workers or min(len(tasks), os.cpu_count() or 1)
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_evaluate, tasks)
+
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "process": ProcessPoolExecutor,
+}
+
+
+def make_executor(spec: str | None, workers: int | None = None):
+    """Resolve an executor spec: an instance, a name, or None (serial)."""
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, str):
+        try:
+            cls = EXECUTORS[spec]
+        except KeyError:
+            known = ", ".join(sorted(EXECUTORS))
+            raise ValueError(
+                f"unknown executor {spec!r} (known: {known})"
+            ) from None
+        return cls(workers) if cls is ProcessPoolExecutor else cls()
+    return spec
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """How a campaign run was served."""
+
+    total: int
+    evaluated: int
+    cached: int
+    failed: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """A completed run: ordered results plus serving statistics."""
+
+    name: str
+    results: ResultSet
+    stats: CampaignStats
+
+
+class Campaign:
+    """A named (design space, experiment) pair bound to a result store."""
+
+    def __init__(
+        self,
+        name: str,
+        space: DesignSpace,
+        experiment: str,
+        store_dir: str | os.PathLike | None = None,
+        executor: str | Any | None = None,
+        workers: int | None = None,
+        on_error: str = "raise",
+    ):
+        if on_error not in ("raise", "store"):
+            raise ValueError("on_error must be 'raise' or 'store'")
+        self.name = name
+        self.space = space
+        self.experiment = experiment
+        self.store_dir = os.fspath(store_dir) if store_dir is not None else None
+        self.executor = make_executor(executor, workers)
+        self.on_error = on_error
+        self._cache: ResultCache | None = None
+        if self.store_dir is not None:
+            self._cache = ResultCache(self.results_path(self.store_dir, name))
+
+    @staticmethod
+    def results_path(store_dir: str | os.PathLike, name: str) -> str:
+        return os.path.join(os.fspath(store_dir), f"{name}.jsonl")
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self._cache
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> CampaignOutcome:
+        """Evaluate all uncached points and return the full result set."""
+        points = self.space.expand()
+        keys = [record_key(self.experiment, p) for p in points]
+
+        pending: list[tuple[int, DesignPoint]] = []
+        cached = 0
+        for idx, key in enumerate(keys):
+            if self._cache is not None and key in self._cache:
+                cached += 1
+            else:
+                pending.append((idx, points[idx]))
+
+        outputs = self.executor.map(
+            [(self.experiment, p.as_dict()) for _, p in pending]
+        )
+
+        fresh: dict[int, dict] = {}
+        failed = 0
+        # strict: a custom executor returning a short/long mapping is a
+        # bug that must surface, not silently drop points.
+        for (idx, point), (ok, metrics) in zip(pending, outputs, strict=True):
+            if not ok:
+                failed += 1
+                if self.on_error == "raise":
+                    raise CampaignPointError(
+                        self.name, self.experiment, point, metrics
+                    )
+            fresh[idx] = metrics
+            # Failures are never cached, so a fixed experiment re-runs them.
+            if ok and self._cache is not None:
+                # Self-describing store entries: point and experiment ride
+                # along so `repro.explore ls/show` can render a store
+                # without the spec that produced it.
+                self._cache.put(keys[idx], {
+                    "experiment": self.experiment,
+                    "point": point.as_dict(),
+                    "metrics": metrics,
+                })
+
+        records = []
+        for idx, (point, key) in enumerate(zip(points, keys)):
+            if idx in fresh:
+                metrics = fresh[idx]
+            else:
+                entry = self._cache.get(key)  # type: ignore[union-attr]
+                metrics = entry.get("metrics", entry)
+            records.append(ResultRecord(
+                key=key,
+                experiment=self.experiment,
+                point=point.as_dict(),
+                metrics=metrics,
+            ))
+        return CampaignOutcome(
+            name=self.name,
+            results=ResultSet(tuple(records)),
+            stats=CampaignStats(
+                total=len(points),
+                evaluated=len(pending),
+                cached=cached,
+                failed=failed,
+            ),
+        )
+
+
+class CampaignPointError(RuntimeError):
+    """One design point failed and the campaign is set to fail fast."""
+
+    def __init__(
+        self,
+        campaign: str,
+        experiment: str,
+        point: Mapping[str, Any],
+        details: Mapping[str, Any],
+    ):
+        self.point = dict(point)
+        self.details = dict(details)
+        message = details.get("error", "unknown error")
+        super().__init__(
+            f"campaign {campaign!r}: experiment {experiment!r} failed on "
+            f"point {dict(point)!r}: {message}"
+        )
+
+
+def run_campaign(
+    name: str,
+    space: DesignSpace | Mapping[str, Any],
+    experiment: str,
+    store_dir: str | os.PathLike | None = None,
+    executor: str | Any | None = None,
+    workers: int | None = None,
+    on_error: str = "raise",
+) -> CampaignOutcome:
+    """One-call convenience wrapper: accepts a spec dict or a DesignSpace."""
+    if not isinstance(space, DesignSpace):
+        space = DesignSpace.from_dict(space)
+    return Campaign(
+        name,
+        space,
+        experiment,
+        store_dir=store_dir,
+        executor=executor,
+        workers=workers,
+        on_error=on_error,
+    ).run()

@@ -1,0 +1,233 @@
+"""``python -m repro.explore`` — run and inspect experiment campaigns.
+
+Subcommands:
+
+* ``run SPEC.json``  — execute a campaign described by a JSON spec file,
+* ``ls``             — list the campaigns in a store directory,
+* ``show NAME``      — print a campaign's stored results as a table,
+* ``presets``        — list the registered cluster presets,
+* ``experiments``    — list the registered experiments.
+
+A spec file is pure data::
+
+    {
+      "name": "barrier-ranking",
+      "experiment": "barrier-cost",
+      "space": {
+        "axes": {
+          "preset": ["xeon-8x2x4", "opteron-12x2x6"],
+          "pattern": ["linear", "tree", "dissemination"],
+          "nprocs": [8, 16, 32]
+        },
+        "constants": {"runs": 16}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.explore.campaign import Campaign, CampaignPointError, EXECUTORS
+from repro.explore.results import ResultSet
+from repro.explore.space import DesignSpace
+from repro.util.tables import format_table
+
+DEFAULT_STORE = os.path.join(".", "campaigns")
+
+
+def _load_spec(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            spec = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"spec {path!r} is not valid JSON: {exc}") from None
+    for field in ("name", "experiment", "space"):
+        if field not in spec:
+            raise SystemExit(f"spec {path!r} is missing the {field!r} field")
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    try:
+        campaign = Campaign(
+            spec["name"],
+            DesignSpace.from_dict(spec["space"]),
+            spec["experiment"],
+            store_dir=args.store_dir,
+            executor=args.executor,
+            workers=args.workers,
+            on_error="store" if args.keep_going else "raise",
+        )
+        outcome = campaign.run()
+    except CampaignPointError as exc:
+        raise SystemExit(f"{exc}\n(use --keep-going to record failed "
+                         f"points and continue)") from None
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    stats = outcome.stats
+    print(
+        f"campaign {outcome.name!r}: {stats.total} points "
+        f"({stats.evaluated} evaluated, {stats.cached} cached, "
+        f"{stats.failed} failed; hit rate {stats.cache_hit_rate:.0%})"
+    )
+    _print_results(outcome.results, sort=args.sort, limit=args.limit)
+    return 0
+
+
+def _store_files(store_dir: str) -> list[str]:
+    if not os.path.isdir(store_dir):
+        return []
+    return sorted(
+        f for f in os.listdir(store_dir) if f.endswith(".jsonl")
+    )
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    files = _store_files(args.store_dir)
+    if not files:
+        print(f"no campaigns under {args.store_dir!r}")
+        return 0
+    rows = []
+    for fname in files:
+        path = os.path.join(args.store_dir, fname)
+        with open(path, "r", encoding="utf-8") as fh:
+            count = sum(1 for line in fh if line.strip())
+        rows.append([fname[: -len(".jsonl")], count, path])
+    print(format_table(["campaign", "records", "path"], rows))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    path = Campaign.results_path(args.store_dir, args.name)
+    if not os.path.exists(path):
+        raise SystemExit(f"no stored campaign {args.name!r} under "
+                         f"{args.store_dir!r} (expected {path})")
+    # The store file holds cache entries; rebuild displayable records
+    # through ResultCache, which tolerates a torn tail line.
+    from repro.explore.cache import ResultCache
+    from repro.explore.results import ResultRecord
+
+    cache = ResultCache(path)
+    records = []
+    for key in cache.keys():
+        entry = cache.get(key)
+        records.append(ResultRecord(
+            key=key,
+            experiment=entry.get("experiment", ""),
+            point=entry.get("point", {}),
+            metrics=entry.get("metrics", entry),
+        ))
+    _print_results(ResultSet(tuple(records)), sort=args.sort, limit=args.limit)
+    return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    from repro.cluster.presets import PRESETS
+
+    rows = [
+        [name, preset.total_cores, preset.description]
+        for name, preset in sorted(PRESETS.items())
+    ]
+    print(format_table(["preset", "cores", "description"], rows))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.explore.experiments import EXPERIMENTS
+
+    rows = [
+        [name, exp.description]
+        for name, exp in sorted(EXPERIMENTS.items())
+    ]
+    print(format_table(["experiment", "point parameters"], rows))
+    return 0
+
+
+def _print_results(results: ResultSet, sort: str | None, limit: int | None):
+    if not len(results):
+        print("(no records)")
+        return
+    if sort:
+        results = results.rank_by(sort)
+    if limit:
+        results = ResultSet(results.records[:limit])
+    columns = [
+        c for c in results.point_names() + results.metric_names()
+        if c != "traceback"  # multiline; available in the stored record
+    ]
+    rows = results.to_rows(columns)
+    print(format_table(columns, rows))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explore",
+        description="declarative design-space exploration campaigns",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p):
+        p.add_argument(
+            "--store-dir", default=DEFAULT_STORE,
+            help=f"campaign result store (default: {DEFAULT_STORE})",
+        )
+
+    def add_display(p):
+        p.add_argument("--sort", help="metric to sort the table by")
+        p.add_argument("--limit", type=int, help="show at most N rows")
+
+    p_run = sub.add_parser("run", help="run a campaign from a JSON spec")
+    p_run.add_argument("spec", help="path to the campaign spec file")
+    p_run.add_argument(
+        "--executor", choices=sorted(EXECUTORS), default="serial"
+    )
+    p_run.add_argument("--workers", type=int, default=None)
+    p_run.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed points instead of aborting",
+    )
+    add_store(p_run)
+    add_display(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_ls = sub.add_parser("ls", help="list stored campaigns")
+    add_store(p_ls)
+    p_ls.set_defaults(fn=_cmd_ls)
+
+    p_show = sub.add_parser("show", help="print a stored campaign")
+    p_show.add_argument("name")
+    add_store(p_show)
+    add_display(p_show)
+    p_show.set_defaults(fn=_cmd_show)
+
+    sub.add_parser(
+        "presets", help="list cluster presets"
+    ).set_defaults(fn=_cmd_presets)
+    sub.add_parser(
+        "experiments", help="list registered experiments"
+    ).set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Experiment registry and the built-in thesis experiment adapters.
+
+An *experiment* maps one design point (a plain parameter dict) to a flat
+metrics dict.  Experiments are registered by name so design-space specs —
+and worker processes of the parallel executor — can reference them as
+strings.  The built-ins wrap the repository's evaluate APIs:
+
+* ``barrier-cost``     — measured vs predicted cost of one barrier pattern
+                         (§5.6.6; the Figs. 5.6-5.13 points),
+* ``barrier-adapt``    — the greedy adaptation pipeline vs the best system
+                         default (Figs. 7.6-7.7),
+* ``stencil-predict``  — predicted per-iteration stencil cost for one
+                         implementation model (§8.5, Figs. 8.8-8.9).
+
+Every adapter builds its platform from the named preset registry
+(:mod:`repro.cluster.presets`), so a campaign spec is pure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.barriers.patterns import (
+    all_to_all_barrier,
+    dissemination_barrier,
+    kary_dissemination_barrier,
+    linear_barrier,
+    pairwise_exchange_barrier,
+    sequential_linear_barrier,
+    tree_barrier,
+)
+
+#: Barrier families referenceable by name from design points.
+PATTERN_FAMILIES: dict[str, Callable[[int], Any]] = {
+    "linear": linear_barrier,
+    "tree": tree_barrier,
+    "dissemination": dissemination_barrier,
+    "pairwise": pairwise_exchange_barrier,
+    "all-to-all": all_to_all_barrier,
+    "sequential": sequential_linear_barrier,
+    "kary-dissemination": kary_dissemination_barrier,
+}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named design-point evaluator."""
+
+    name: str
+    fn: Callable[[Mapping[str, Any]], dict]
+    description: str = ""
+
+    def __call__(self, point: Mapping[str, Any]) -> dict:
+        return self.fn(point)
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register_experiment(name: str, description: str = ""):
+    """Decorator registering ``fn`` as the experiment called ``name``."""
+
+    def deco(fn: Callable[[Mapping[str, Any]], dict]):
+        EXPERIMENTS[name] = Experiment(name=name, fn=fn, description=description)
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r} (known: {known})") from None
+
+
+def experiment_names() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_point(experiment: str, point: Mapping[str, Any]) -> dict:
+    """Evaluate one design point — the unit of work both executors run."""
+    return get_experiment(experiment)(point)
+
+
+# ----------------------------------------------------------------- adapters
+
+def _machine_from_point(point: Mapping[str, Any]):
+    from repro.cluster.presets import make_preset_machine
+
+    return make_preset_machine(
+        point["preset"],
+        nodes=point.get("nodes"),
+        seed=int(point.get("seed", 2012)),
+    )
+
+
+def _pattern_from_point(point: Mapping[str, Any]):
+    name = point["pattern"]
+    try:
+        factory = PATTERN_FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PATTERN_FAMILIES))
+        raise KeyError(
+            f"unknown barrier pattern {name!r} (known: {known})"
+        ) from None
+    return factory(int(point["nprocs"]))
+
+
+@register_experiment(
+    "barrier-cost",
+    "measured vs predicted barrier cost: preset, pattern, nprocs "
+    "[runs, comm_samples, nodes, seed]",
+)
+def barrier_cost(point: Mapping[str, Any]) -> dict:
+    from repro.barriers.evaluate import evaluate_barrier
+
+    machine = _machine_from_point(point)
+    pattern = _pattern_from_point(point)
+    ev = evaluate_barrier(
+        machine,
+        pattern,
+        runs=int(point.get("runs", 16)),
+        comm_samples=int(point.get("comm_samples", 5)),
+    )
+    return {
+        "measured_s": ev.measured,
+        "predicted_s": ev.predicted,
+        "abs_error_s": ev.absolute_error,
+        "rel_error": ev.relative_error,
+        "num_stages": ev.num_stages,
+        "total_messages": ev.total_messages,
+    }
+
+
+@register_experiment(
+    "barrier-adapt",
+    "greedy adaptation vs best flat default: preset, nprocs "
+    "[runs, gap_ratio, comm_samples, nodes, seed]",
+)
+def barrier_adapt(point: Mapping[str, Any]) -> dict:
+    from repro.adapt.evaluate import evaluate_adaptation
+
+    machine = _machine_from_point(point)
+    ev = evaluate_adaptation(
+        machine,
+        int(point["nprocs"]),
+        runs=int(point.get("runs", 16)),
+        gap_ratio=float(point.get("gap_ratio", 2.0)),
+        comm_samples=int(point.get("comm_samples", 5)),
+    )
+    return {
+        "adapted_pattern": ev.pattern_name,
+        "top_kind": ev.top_kind,
+        "levels": ev.levels,
+        "adapted_predicted_s": ev.adapted_predicted,
+        "adapted_measured_s": ev.adapted_measured,
+        "best_default": ev.best_default_name,
+        "default_predicted_s": ev.best_default_predicted,
+        "default_measured_s": ev.best_default_measured,
+        "measured_speedup": ev.measured_speedup,
+    }
+
+
+@register_experiment(
+    "stencil-predict",
+    "predicted stencil iteration cost: preset, n, nprocs "
+    "[kind=bsp|mpi|mpi+r, comm_samples, nodes, seed]",
+)
+def stencil_predict(point: Mapping[str, Any]) -> dict:
+    from repro.stencil.predictor import predict_iteration
+
+    machine = _machine_from_point(point)
+    prediction = predict_iteration(
+        machine,
+        int(point["n"]),
+        int(point["nprocs"]),
+        kind=str(point.get("kind", "bsp")),
+        comm_samples=int(point.get("comm_samples", 5)),
+    )
+    return {
+        "model": prediction.name,
+        "per_iteration_s": prediction.per_iteration,
+        "per_iteration_no_overlap_s": prediction.per_iteration_no_overlap,
+        "overlap_saving_s": prediction.predicted_overlap_saving,
+        "sync_s": prediction.t_sync,
+    }

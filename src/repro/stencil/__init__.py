@@ -23,6 +23,7 @@ from repro.stencil.predictor import (
     build_comm_model,
     predict_bsp_iteration,
     predict_mpi_iteration,
+    predict_iteration,
     prediction_sweep,
 )
 from repro.stencil.optimizer import (
@@ -64,6 +65,7 @@ __all__ = [
     "build_comm_model",
     "predict_bsp_iteration",
     "predict_mpi_iteration",
+    "predict_iteration",
     "prediction_sweep",
     "HaloPrediction",
     "HaloSweepPoint",

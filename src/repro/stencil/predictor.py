@@ -188,6 +188,40 @@ def predict_mpi_iteration(
     )
 
 
+def predict_iteration(
+    machine: SimMachine,
+    n: int,
+    nprocs: int,
+    kind: str = "bsp",
+    comm_samples: int = 7,
+    comm_sizes=tuple(2**k for k in range(0, 17, 4)),
+) -> StencilPrediction:
+    """One design point of the Chapter 8 prediction experiment: profile the
+    platform at P = ``nprocs``, benchmark the kernel rate at the block's
+    working-set size, and evaluate the chosen implementation model."""
+    from repro.bench.comm_bench import benchmark_comm
+
+    blocks = decompose(n, nprocs)
+    placement = machine.placement(nprocs)
+    report = benchmark_comm(
+        machine, placement, samples=comm_samples, sizes=comm_sizes
+    )
+    block = blocks[0]
+    spc = stencil_sec_per_cell(
+        machine,
+        placement.core_of(0),
+        block.interior_cells,
+        2.0 * (block.height + 2) * (block.width + 2) * WORD,
+    )
+    if kind == "bsp":
+        return predict_bsp_iteration(blocks, spc, report.params)
+    if kind == "mpi":
+        return predict_mpi_iteration(blocks, spc, report.params)
+    if kind == "mpi+r":
+        return predict_mpi_iteration(blocks, spc, report.params, overlap=True)
+    raise ValueError(f"unknown prediction kind {kind!r}")
+
+
 def prediction_sweep(
     machine: SimMachine,
     n: int,
@@ -198,30 +232,10 @@ def prediction_sweep(
 ) -> dict[int, StencilPrediction]:
     """Predict per-iteration cost over a strong-scaling sweep, profiling
     the platform independently per process count (as the thesis does)."""
-    from repro.bench.comm_bench import benchmark_comm
-
-    out: dict[int, StencilPrediction] = {}
-    for nprocs in process_counts:
-        blocks = decompose(n, nprocs)
-        placement = machine.placement(nprocs)
-        report = benchmark_comm(
-            machine, placement, samples=comm_samples, sizes=comm_sizes
+    return {
+        nprocs: predict_iteration(
+            machine, n, nprocs, kind=kind,
+            comm_samples=comm_samples, comm_sizes=comm_sizes,
         )
-        block = blocks[0]
-        spc = stencil_sec_per_cell(
-            machine,
-            placement.core_of(0),
-            block.interior_cells,
-            2.0 * (block.height + 2) * (block.width + 2) * WORD,
-        )
-        if kind == "bsp":
-            out[nprocs] = predict_bsp_iteration(blocks, spc, report.params)
-        elif kind == "mpi":
-            out[nprocs] = predict_mpi_iteration(blocks, spc, report.params)
-        elif kind == "mpi+r":
-            out[nprocs] = predict_mpi_iteration(
-                blocks, spc, report.params, overlap=True
-            )
-        else:
-            raise ValueError(f"unknown prediction kind {kind!r}")
-    return out
+        for nprocs in process_counts
+    }

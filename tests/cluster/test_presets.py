@@ -1,0 +1,61 @@
+"""The named preset registry and string-referenceable machine factory."""
+
+import pytest
+
+from repro.cluster.presets import (
+    PRESETS,
+    ClusterPreset,
+    get_preset,
+    make_preset_machine,
+    preset_names,
+    register_preset,
+    xeon_8x2x4_params,
+    xeon_8x2x4_topology,
+)
+
+
+def test_registry_contains_the_calibrated_platforms():
+    assert {"xeon-8x2x4", "xeon-8x2x4-ib", "opteron-12x2x6",
+            "cluster-10x2x6", "athlon-x2"} <= set(preset_names())
+
+
+def test_get_preset_errors_name_the_known_presets():
+    with pytest.raises(KeyError, match="xeon-8x2x4"):
+        get_preset("no-such-cluster")
+
+
+def test_preset_factories_build_fresh_objects():
+    preset = get_preset("xeon-8x2x4")
+    assert preset.topology() is not preset.topology()
+    assert preset.topology() == preset.topology()
+    assert preset.total_cores == 64
+
+
+def test_make_preset_machine_matches_manual_construction():
+    machine = make_preset_machine("xeon-8x2x4", seed=7)
+    assert machine.seed == 7
+    assert machine.topology == xeon_8x2x4_topology()
+    assert machine.params == xeon_8x2x4_params()
+
+
+def test_scaled_topology_keeps_node_design():
+    machine = make_preset_machine("xeon-8x2x4", nodes=3)
+    assert machine.topology.nodes == 3
+    assert machine.topology.sockets_per_node == 2
+    assert machine.topology.cores_per_socket == 4
+    with pytest.raises(ValueError):
+        get_preset("xeon-8x2x4").scaled_topology(0)
+
+
+def test_register_preset_overrides_by_name():
+    original = PRESETS["xeon-8x2x4"]
+    try:
+        register_preset(ClusterPreset(
+            name="xeon-8x2x4",
+            params_factory=xeon_8x2x4_params,
+            topology_factory=xeon_8x2x4_topology,
+            description="override",
+        ))
+        assert get_preset("xeon-8x2x4").description == "override"
+    finally:
+        register_preset(original)

@@ -1,0 +1,65 @@
+"""Result-cache round-trips, durability, and key stability."""
+
+import json
+import os
+
+from repro.explore.cache import ResultCache, record_key
+
+
+def test_record_key_is_stable_and_content_addressed():
+    a = record_key("barrier-cost", {"nprocs": 8, "preset": "xeon-8x2x4"})
+    b = record_key("barrier-cost", {"preset": "xeon-8x2x4", "nprocs": 8})
+    assert a == b
+    assert record_key("other-exp", {"nprocs": 8, "preset": "xeon-8x2x4"}) != a
+    assert record_key("barrier-cost", {"nprocs": 16, "preset": "xeon-8x2x4"}) != a
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "c.jsonl")
+    record = {"metrics": {"cost": 1.25e-5, "stages": 3}, "point": {"n": 8}}
+    assert cache.get("k1") is None
+    cache.put("k1", record)
+    assert "k1" in cache
+    assert cache.get("k1") == record
+    assert len(cache) == 1
+
+
+def test_cache_survives_reload(tmp_path):
+    path = tmp_path / "c.jsonl"
+    first = ResultCache(path)
+    first.put("a", {"v": 1})
+    first.put("b", {"v": 0.1 + 0.2})  # float round-trip must be exact
+    reloaded = ResultCache(path)
+    assert len(reloaded) == 2
+    assert reloaded.get("a") == {"v": 1}
+    assert reloaded.get("b") == {"v": 0.1 + 0.2}
+
+
+def test_later_puts_override_and_torn_tail_is_ignored(tmp_path):
+    path = tmp_path / "c.jsonl"
+    cache = ResultCache(path)
+    cache.put("a", {"v": 1})
+    cache.put("a", {"v": 2})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"key": "torn", "rec')  # interrupted write
+    reloaded = ResultCache(path)
+    assert reloaded.get("a") == {"v": 2}
+    assert "torn" not in reloaded
+
+
+def test_clear_removes_file(tmp_path):
+    path = tmp_path / "c.jsonl"
+    cache = ResultCache(path)
+    cache.put("a", {"v": 1})
+    cache.clear()
+    assert len(cache) == 0
+    assert not os.path.exists(path)
+
+
+def test_file_is_line_oriented_json(tmp_path):
+    path = tmp_path / "c.jsonl"
+    cache = ResultCache(path)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    assert [entry["key"] for entry in lines] == ["a", "b"]

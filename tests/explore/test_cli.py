@@ -1,0 +1,73 @@
+"""CLI surface: spec run, ls/show round trip, registry listings."""
+
+import json
+
+import pytest
+
+from repro.explore.cli import main
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    spec = {
+        "name": "cli-demo",
+        "experiment": "barrier-cost",
+        "space": {
+            "axes": {
+                "preset": ["xeon-8x2x4"],
+                "pattern": ["linear", "dissemination"],
+                "nprocs": [8],
+            },
+            "constants": {"runs": 2, "comm_samples": 3},
+        },
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def test_run_then_show_round_trip(spec_path, tmp_path, capsys):
+    store = str(tmp_path / "campaigns")
+    assert main(["run", spec_path, "--store-dir", store]) == 0
+    out = capsys.readouterr().out
+    assert "2 points (2 evaluated, 0 cached" in out
+    assert "dissemination" in out
+
+    assert main(["run", spec_path, "--store-dir", store]) == 0
+    out = capsys.readouterr().out
+    assert "(0 evaluated, 2 cached" in out
+    assert "hit rate 100%" in out
+
+    assert main(["ls", "--store-dir", store]) == 0
+    out = capsys.readouterr().out
+    assert "cli-demo" in out and "2" in out
+
+    assert main(["show", "cli-demo", "--store-dir", store,
+                 "--sort", "measured_s", "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "measured_s" in out and "pattern" in out
+
+
+def test_show_unknown_campaign_exits(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["show", "nope", "--store-dir", str(tmp_path)])
+
+
+def test_spec_validation(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "x"}))
+    with pytest.raises(SystemExit, match="experiment"):
+        main(["run", str(bad)])
+
+
+def test_registry_listings(capsys):
+    assert main(["presets"]) == 0
+    assert "xeon-8x2x4" in capsys.readouterr().out
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "barrier-cost" in out and "stencil-predict" in out
+
+
+def test_ls_empty_store(tmp_path, capsys):
+    assert main(["ls", "--store-dir", str(tmp_path / "missing")]) == 0
+    assert "no campaigns" in capsys.readouterr().out

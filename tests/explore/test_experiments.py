@@ -1,0 +1,92 @@
+"""Built-in experiment adapters and the thin evaluate APIs they wrap."""
+
+import pytest
+
+from repro.barriers import dissemination_barrier, evaluate_barrier, profile_placement
+from repro.cluster.presets import make_preset_machine
+from repro.explore.experiments import run_point
+
+FAST = {"runs": 3, "comm_samples": 3}
+
+
+def test_barrier_cost_adapter_matches_direct_evaluation():
+    metrics = run_point("barrier-cost", {
+        "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 8, **FAST,
+    })
+    machine = make_preset_machine("xeon-8x2x4")
+    direct = evaluate_barrier(
+        machine, dissemination_barrier(8), runs=3, comm_samples=3
+    )
+    assert metrics["measured_s"] == pytest.approx(direct.measured)
+    assert metrics["predicted_s"] == pytest.approx(direct.predicted)
+    assert metrics["total_messages"] == direct.total_messages
+    assert metrics["rel_error"] == pytest.approx(direct.relative_error)
+
+
+def test_barrier_cost_adapter_is_deterministic():
+    point = {"preset": "xeon-8x2x4-ib", "pattern": "tree", "nprocs": 8, **FAST}
+    assert run_point("barrier-cost", point) == run_point("barrier-cost", point)
+
+
+def test_barrier_cost_rejects_unknown_pattern():
+    with pytest.raises(KeyError, match="unknown barrier pattern"):
+        run_point("barrier-cost", {
+            "preset": "xeon-8x2x4", "pattern": "quantum", "nprocs": 8,
+        })
+
+
+def test_evaluate_barrier_reuses_supplied_profile():
+    machine = make_preset_machine("xeon-8x2x4")
+    placement = machine.placement(8)
+    params = profile_placement(machine, placement, comm_samples=3)
+    with_profile = evaluate_barrier(
+        machine, dissemination_barrier(8), placement=placement,
+        params=params, runs=3,
+    )
+    fresh = evaluate_barrier(
+        machine, dissemination_barrier(8), runs=3, comm_samples=3
+    )
+    assert with_profile.predicted == pytest.approx(fresh.predicted)
+    assert with_profile.measured == pytest.approx(fresh.measured)
+
+
+def test_barrier_adapt_adapter_reports_speedup():
+    metrics = run_point("barrier-adapt", {
+        "preset": "xeon-8x2x4", "nprocs": 16, **FAST,
+    })
+    assert metrics["adapted_measured_s"] > 0
+    assert metrics["default_measured_s"] > 0
+    assert metrics["measured_speedup"] == pytest.approx(
+        metrics["default_measured_s"] / metrics["adapted_measured_s"]
+    )
+    assert metrics["levels"] >= 1
+
+
+def test_stencil_predict_adapter_models_overlap():
+    bsp = run_point("stencil-predict", {
+        "preset": "xeon-8x2x4", "n": 128, "nprocs": 4, "kind": "bsp",
+        "comm_samples": 3,
+    })
+    mpi = run_point("stencil-predict", {
+        "preset": "xeon-8x2x4", "n": 128, "nprocs": 4, "kind": "mpi",
+        "comm_samples": 3,
+    })
+    assert bsp["model"] == "BSP" and mpi["model"] == "MPI"
+    assert bsp["per_iteration_s"] > 0
+    assert mpi["overlap_saving_s"] == 0.0  # fully exposed exchange
+    assert bsp["per_iteration_no_overlap_s"] >= bsp["per_iteration_s"]
+
+
+def test_scaled_preset_point_changes_capacity():
+    # Placement packs ranks onto the fewest nodes that fit (§5.6.6), so the
+    # nodes axis shows up as a capacity bound, not a placement change.
+    small = run_point("barrier-cost", {
+        "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 8,
+        "nodes": 1, **FAST,
+    })
+    assert small["measured_s"] > 0
+    with pytest.raises(ValueError, match="nprocs"):
+        run_point("barrier-cost", {
+            "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 16,
+            "nodes": 1, **FAST,
+        })

@@ -1,0 +1,100 @@
+"""DesignSpace expansion determinism and DesignPoint hash stability."""
+
+import pytest
+
+from repro.explore.space import DesignPoint, DesignSpace, ParamSpec
+
+
+def test_grid_expansion_order_is_product_order():
+    space = DesignSpace.grid(a=["x", "y"], b=[1, 2, 3])
+    points = space.expand()
+    assert [(p["a"], p["b"]) for p in points] == [
+        ("x", 1), ("x", 2), ("x", 3), ("y", 1), ("y", 2), ("y", 3),
+    ]
+
+
+def test_expansion_is_deterministic_across_calls():
+    space = DesignSpace(
+        axes=(ParamSpec("p", ("a", "b")), ParamSpec("n", (8, 16))),
+        points=({"p": "c", "n": 64},),
+        constants={"runs": 4},
+    )
+    first = space.expand()
+    second = space.expand()
+    assert [p.key for p in first] == [p.key for p in second]
+    assert len(first) == 5
+    assert all(p["runs"] == 4 for p in first)
+
+
+def test_explicit_points_follow_grid_and_dedupe():
+    space = DesignSpace(
+        axes=(ParamSpec("n", (1, 2)),),
+        points=({"n": 2}, {"n": 9}),  # first duplicates a grid point
+    )
+    assert [p["n"] for p in space.expand()] == [1, 2, 9]
+
+
+def test_constants_are_overridden_by_point_values():
+    space = DesignSpace(
+        axes=(ParamSpec("n", (1,)),),
+        points=({"n": 2, "runs": 99},),
+        constants={"runs": 4},
+    )
+    runs = [p["runs"] for p in space.expand()]
+    assert runs == [4, 99]
+
+
+def test_point_hash_is_stable_and_order_insensitive():
+    a = DesignPoint({"alpha": 1, "beta": "two"})
+    b = DesignPoint({"beta": "two", "alpha": 1})
+    assert a.key == b.key == a.key
+    # Regression pin: the hash is part of the on-disk cache format, so it
+    # must never drift between sessions or platforms.
+    assert a.key == "c290c459436253fc"
+
+
+def test_point_hash_distinguishes_values_and_types():
+    assert DesignPoint({"n": 1}).key != DesignPoint({"n": 2}).key
+    assert DesignPoint({"n": 1}).key != DesignPoint({"n": "1"}).key
+
+
+def test_point_normalises_tuples_and_numpy_scalars():
+    np = pytest.importorskip("numpy")
+    a = DesignPoint({"sizes": (1, 2), "n": np.int64(8)})
+    b = DesignPoint({"sizes": [1, 2], "n": 8})
+    assert a.key == b.key
+    assert a["n"] == 8
+
+
+def test_rejects_non_jsonable_values():
+    with pytest.raises(TypeError):
+        DesignPoint({"bad": object()})
+    with pytest.raises(TypeError):
+        ParamSpec("bad", (object(),))
+
+
+def test_axis_validation():
+    with pytest.raises(ValueError):
+        ParamSpec("n", ())
+    with pytest.raises(ValueError):
+        ParamSpec("n", (1, 1))
+    with pytest.raises(ValueError):
+        DesignSpace(axes=(ParamSpec("n", (1,)), ParamSpec("n", (2,))))
+    with pytest.raises(ValueError):
+        DesignSpace()
+
+
+def test_spec_round_trip():
+    spec = {
+        "axes": {"preset": ["xeon-8x2x4"], "nprocs": [8, 16]},
+        "points": [{"preset": "athlon-x2", "nprocs": 2}],
+        "constants": {"runs": 4},
+    }
+    space = DesignSpace.from_dict(spec)
+    assert space.to_dict() == spec
+    assert len(space) == 3
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError):
+        DesignSpace.from_dict({"axes": {"n": [1]}, "bogus": 1})
