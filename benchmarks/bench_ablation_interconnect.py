@@ -1,86 +1,12 @@
 """Ablation: the same nodes on a different interconnect (§9.2.4).
 
-Swapping the gigabit links of the 8x2x4 cluster for InfiniBand-class ones
-(same compute, ~6x lower remote latency, ~10x injection rate) must change
-the platform's *behaviour*, and the framework must follow it without any
-code change:
-
-* the measured D/T/L ordering compresses (remote signals stop dominating);
-* the profile-driven SSS clustering still recovers the node structure;
-* the greedy generator still equals/beats the defaults on both fabrics,
-  picking its pattern from the profile rather than from assumptions.
+Thin wrapper over the ``ablation-interconnect`` suite spec: the gigabit
+links of the 8x2x4 cluster swapped for InfiniBand-class ones.  Shape
+claims (everything gets much cheaper, the benchmark *sees* the fabric in
+the profiled latencies, and the greedy generator still equals/beats the
+defaults on both fabrics) live on the spec.
 """
 
-from benchmarks.conftest import BARRIER_RUNS, COMM_SAMPLES, COMM_SIZES
-from repro.adapt import flat_defaults, greedy_adapt
-from repro.barriers import measure_barrier
-from repro.bench import benchmark_comm
-from repro.cluster import presets
-from repro.machine import SimMachine
-from repro.util.tables import format_table
 
-NPROCS = 60
-
-
-def _study(machine):
-    placement = machine.placement(NPROCS)
-    params = benchmark_comm(
-        machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    ).params
-    defaults = {
-        name: measure_barrier(machine, pattern, placement,
-                              runs=BARRIER_RUNS).mean_worst
-        for name, pattern in flat_defaults(NPROCS).items()
-    }
-    adapted = greedy_adapt(params)
-    t_adapted = measure_barrier(
-        machine, adapted.pattern, placement, runs=BARRIER_RUNS
-    ).mean_worst
-    return params, defaults, adapted, t_adapted
-
-
-def test_ablation_interconnect(benchmark, emit):
-    gig = SimMachine(
-        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=2012
-    )
-    ib = SimMachine(
-        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_ib_params(), seed=2012
-    )
-    rows = []
-    results = {}
-    for label, machine in (("gigabit", gig), ("infiniband", ib)):
-        params, defaults, adapted, t_adapted = _study(machine)
-        results[label] = (params, defaults, adapted, t_adapted)
-        rows.append(
-            [
-                label,
-                defaults["dissemination"] * 1e6,
-                defaults["tree"] * 1e6,
-                defaults["linear"] * 1e6,
-                adapted.pattern.name,
-                t_adapted * 1e6,
-            ]
-        )
-    emit(f"\nAblation: interconnect swap at P={NPROCS} (same nodes)")
-    emit(format_table(
-        ["fabric", "diss [us]", "tree [us]", "linear [us]",
-         "adapted pattern", "adapted [us]"],
-        rows,
-    ))
-
-    gig_params, gig_defaults, _, gig_adapted_t = results["gigabit"]
-    ib_params, ib_defaults, _, ib_adapted_t = results["infiniband"]
-
-    # The fabric change is visible: everything gets much cheaper on IB.
-    assert ib_defaults["dissemination"] < 0.4 * gig_defaults["dissemination"]
-    assert ib_defaults["linear"] < 0.4 * gig_defaults["linear"]
-
-    # The benchmark *sees* the fabric: profiled remote latencies drop.
-    assert ib_params.latency.max() < 0.5 * gig_params.latency.max()
-
-    # Adaptation still equals/beats the defaults on both fabrics.
-    assert gig_adapted_t <= min(gig_defaults.values()) * 1.10
-    assert ib_adapted_t <= min(ib_defaults.values()) * 1.10
-
-    benchmark(benchmark_comm, ib, ib.placement(16), samples=3,
-              sizes=COMM_SIZES)
+def test_ablation_interconnect(regenerate):
+    regenerate("ablation-interconnect")

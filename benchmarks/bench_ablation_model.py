@@ -1,138 +1,20 @@
 """Ablations of the barrier cost model's design choices (DESIGN.md §6).
 
-Three ablations of Chapter 5/6 modelling decisions:
+Thin wrappers over the ``ablation-model`` and ``ablation-payload`` suite
+specs:
 
 1. **Posted-receive condition** (§5.6.5 condition 2): disabling the O_jj
-   substitution must worsen (or at best not improve) tree-barrier
-   prediction accuracy — trees are where idle children await their parent.
-2. **Latency doubling** (the factor 2 in Eq. 5.4): charging latency only
-   once must systematically underpredict measured barriers, confirming the
-   handshake round trip is load-bearing.
-3. **Payload term** (§6.5): dropping the bandwidth term must underpredict
-   the payload-carrying sync while leaving the bare barrier unchanged.
+   substitution raises tree predictions and is inert for dissemination.
+2. **Latency doubling** (the factor 2 in Eq. 5.4): charging latency once
+   systematically underpredicts measured barriers.
+3. **Payload term** (§6.5): dropping the bandwidth term underpredicts the
+   payload-carrying sync while leaving the bare barrier unchanged.
 """
 
-from benchmarks.conftest import BARRIER_RUNS, COMM_SAMPLES, COMM_SIZES
-from repro.barriers import (
-    CommParameters,
-    measure_barrier,
-    predict_barrier_cost,
-    tree_barrier,
-)
-from repro.bench import benchmark_comm
-from repro.bsplib.sync_model import (
-    measure_sync_cost,
-    predict_sync_cost,
-    sync_pattern,
-)
-from repro.util.tables import format_table
 
-PROCESS_COUNTS = (16, 32, 64)
+def test_ablation_model(regenerate):
+    regenerate("ablation-model")
 
 
-def _profiles(machine):
-    out = {}
-    for nprocs in PROCESS_COUNTS:
-        placement = machine.placement(nprocs)
-        out[nprocs] = (
-            placement,
-            benchmark_comm(
-                machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-            ).params,
-        )
-    return out
-
-
-def test_ablation_posted_receive(benchmark, emit, xeon_machine):
-    rows = []
-    with_err, without_err = [], []
-    for nprocs, (placement, params) in _profiles(xeon_machine).items():
-        pattern = tree_barrier(nprocs)
-        measured = measure_barrier(
-            xeon_machine, pattern, placement, runs=BARRIER_RUNS
-        ).mean_worst
-        pred_on = predict_barrier_cost(pattern, params)
-        pred_off = predict_barrier_cost(
-            pattern, params, use_posted_condition=False
-        )
-        rows.append([nprocs, measured * 1e6, pred_on * 1e6, pred_off * 1e6])
-        with_err.append(abs(pred_on - measured) / measured)
-        without_err.append(abs(pred_off - measured) / measured)
-    emit("\nAblation: §5.6.5 posted-receive condition (tree barrier)")
-    emit(format_table(
-        ["P", "measured [us]", "pred (cond on) [us]", "pred (cond off) [us]"],
-        rows,
-    ))
-    # Behavioural claims: condition 2 strictly lowers tree predictions
-    # (posted children are contacted at O_jj, not O_ij), with a visible
-    # effect at scale, and has *no* effect on dissemination, where every
-    # process acts every stage and nothing is ever posted.
-    assert all(r[3] >= r[2] for r in rows)
-    assert rows[-1][3] > rows[-1][2] * 1.01
-    from repro.barriers import dissemination_barrier
-
-    _, params64 = _profiles(xeon_machine)[64]
-    d = dissemination_barrier(64)
-    assert predict_barrier_cost(d, params64) == predict_barrier_cost(
-        d, params64, use_posted_condition=False
-    )
-    # Note for EXPERIMENTS.md: on this substrate the model underpredicts
-    # contention, so the (cheaper) condition-on prediction is not the more
-    # accurate one; both error series are reported above.
-
-    _, params = _profiles(xeon_machine)[32]
-    benchmark(predict_barrier_cost, tree_barrier(32), params)
-
-
-def test_ablation_latency_doubling(benchmark, emit, xeon_machine):
-    rows = []
-    for nprocs, (placement, params) in _profiles(xeon_machine).items():
-        pattern = tree_barrier(nprocs)
-        measured = measure_barrier(
-            xeon_machine, pattern, placement, runs=BARRIER_RUNS
-        ).mean_worst
-        pred_full = predict_barrier_cost(pattern, params)
-        halved = CommParameters(
-            overhead=params.overhead,
-            latency=params.latency * 0.5,  # turns 2L into 1L in Eq. 5.4
-            inv_bandwidth=params.inv_bandwidth,
-        )
-        pred_single = predict_barrier_cost(pattern, halved)
-        rows.append(
-            [nprocs, measured * 1e6, pred_full * 1e6, pred_single * 1e6]
-        )
-    emit("\nAblation: Eq. 5.4's latency doubling (tree barrier)")
-    emit(format_table(
-        ["P", "measured [us]", "pred 2L [us]", "pred 1L [us]"], rows
-    ))
-    # Single-latency predictions underpredict every measurement clearly.
-    for _, measured, _, pred_single in rows:
-        assert pred_single < 0.85 * measured
-
-    benchmark(measure_barrier, xeon_machine, tree_barrier(16),
-              xeon_machine.placement(16), runs=4)
-
-
-def test_ablation_payload_term(benchmark, emit, xeon_machine):
-    rows = []
-    for nprocs, (placement, params) in _profiles(xeon_machine).items():
-        measured = measure_sync_cost(
-            xeon_machine, placement, runs=BARRIER_RUNS
-        ).mean_worst
-        pred_with = predict_sync_cost(params)
-        pred_without = predict_barrier_cost(sync_pattern(nprocs), params)
-        rows.append(
-            [nprocs, measured * 1e6, pred_with * 1e6, pred_without * 1e6]
-        )
-    emit("\nAblation: §6.5 payload term in the sync estimate")
-    emit(format_table(
-        ["P", "sync measured [us]", "pred +payload [us]", "pred bare [us]"],
-        rows,
-    ))
-    for _, measured, pred_with, pred_without in rows:
-        assert pred_without < pred_with, "payload term must add cost"
-        # The payload-aware estimate is closer to the measured sync.
-        assert abs(pred_with - measured) <= abs(pred_without - measured)
-
-    _, params = _profiles(xeon_machine)[32]
-    benchmark(predict_sync_cost, params)
+def test_ablation_payload(regenerate):
+    regenerate("ablation-payload")

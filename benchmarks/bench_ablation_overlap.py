@@ -1,68 +1,11 @@
 """Ablation: early-commit overlap in the BSPlib runtime (Fig. 1.2).
 
-The thesis's processing-model revision is that communication committed
-early overlaps subsequent computation.  This ablation runs the identical
-superstep workload with puts committed *before* versus *after* the bulk
-computation and quantifies the saving — the Eq. 3.16 overlap derived from
-totals, as the framework measures it.
+Thin wrapper over the ``ablation-overlap`` suite spec: the identical
+superstep workload with puts committed before versus after the bulk
+computation.  Shape claims (early commit never slower; the multi-node
+run saves a real fraction — the Eq. 3.16 overlap) live on the spec.
 """
 
-import numpy as np
 
-from repro.bsplib import bsp_run
-from repro.kernels import DAXPY
-from repro.util.tables import format_table
-
-PAYLOAD_ELEMS = 40_000
-COMPUTE_REPS = 220  # ~2 ms of DAXPY per superstep
-SUPERSTEPS = 3
-
-
-def _program(early: bool):
-    def program(ctx):
-        data = np.zeros(PAYLOAD_ELEMS)
-        ctx.push_reg(data)
-        ctx.sync()
-        src = np.ones(PAYLOAD_ELEMS)
-        for _ in range(SUPERSTEPS):
-            if early:
-                ctx.put((ctx.pid + 1) % ctx.nprocs, src, data)
-                ctx.charge_kernel(DAXPY, 4096, reps=COMPUTE_REPS)
-            else:
-                ctx.charge_kernel(DAXPY, 4096, reps=COMPUTE_REPS)
-                ctx.put((ctx.pid + 1) % ctx.nprocs, src, data)
-            ctx.sync()
-
-    return program
-
-
-def test_ablation_overlap(benchmark, emit, xeon_machine):
-    rows = []
-    savings = []
-    for nprocs in (8, 16, 32):
-        t_early = bsp_run(
-            xeon_machine, nprocs, _program(True),
-            label=f"ov-early-{nprocs}", noisy=False,
-        ).total_seconds
-        t_late = bsp_run(
-            xeon_machine, nprocs, _program(False),
-            label=f"ov-late-{nprocs}", noisy=False,
-        ).total_seconds
-        saving = t_late - t_early
-        savings.append(saving / t_late)
-        rows.append([nprocs, t_early * 1e3, t_late * 1e3, saving * 1e6])
-    emit("\nAblation: early vs late communication commit (BSP runtime)")
-    emit(format_table(
-        ["P", "early commit [ms]", "late commit [ms]", "overlap saving [us]"],
-        rows,
-    ))
-
-    # Early commit is never slower and saves a visible fraction once the
-    # transfers cross nodes (P >= 16 spans nodes here).
-    assert all(s >= -1e-9 for s in savings)
-    assert savings[-1] > 0.02, "multi-node run must show real overlap"
-
-    benchmark(
-        bsp_run, xeon_machine, 8, _program(True), label="ov-bench",
-        noisy=False,
-    )
+def test_ablation_overlap(regenerate):
+    regenerate("ablation-overlap")

@@ -1,132 +1,14 @@
 """Extension: heterogeneous processors through the R/C matrices (§3.3).
 
-The §3.3 worked example made concrete: one socket of every node carries a
-multiply-accumulate unit running FMA-eligible kernels at twice the rate
-(`socket_rate_scale`).  A uniformly decomposed stencil then has a
-*structural* load imbalance that scalar models cannot see.  The bench
-shows the matrix framework capturing it end to end:
-
-* per-process compute predictions from the R/C product match the per-rank
-  measured compute times on the heterogeneous machine;
-* the predicted imbalance (max - min of the t vector, §3.3) matches the
-  measured imbalance;
-* rebalancing requirements proportionally to profiled rates shrinks the
-  predicted superstep — the scheduling use the §3.3 cross-mapping remark
-  points at.
+Thin wrapper over the ``extension-heterogeneous`` suite spec: the
+``xeon-8x2x4-fma`` preset gives one socket of every node a 2x-rate
+multiply-accumulate unit, so a uniformly decomposed stencil has a
+structural load imbalance scalar models cannot see.  Shape claims
+(per-rank R/C predictions track per-rank measurements, the imbalance is
+visible and predicted, model-driven rebalancing shrinks the superstep)
+live on the spec.
 """
 
-import numpy as np
 
-from repro.cluster import presets
-from repro.cluster.params import ClusterParams
-from repro.core.matrix_model import ComputationModel
-from repro.kernels import STENCIL5
-from repro.machine import SimMachine
-from repro.stencil import decompose
-from repro.stencil.impls import WORD
-from repro.util.tables import format_table
-
-NPROCS = 16
-N = 1024
-
-
-def _hetero_machine() -> SimMachine:
-    base = presets.xeon_8x2x4_params()
-    from dataclasses import replace
-
-    core = replace(base.core, multiply_accumulate=True)
-    # Even-numbered global sockets carry the fast FMA pipelines.
-    topo = presets.xeon_8x2x4_topology()
-    scale = {s: 2.0 for s in range(topo.nodes * topo.sockets_per_node)
-             if s % 2 == 0}
-    params = ClusterParams(
-        links=base.links,
-        core=core,
-        nic_gap=base.nic_gap,
-        recv_overhead=base.recv_overhead,
-        invocation_overhead=base.invocation_overhead,
-        socket_rate_scale=scale,
-    )
-    return SimMachine(topo, params, seed=2012)
-
-
-def test_extension_heterogeneous_compute(benchmark, emit):
-    machine = _hetero_machine()
-    placement = machine.placement(NPROCS)
-    blocks = decompose(N, NPROCS)
-
-    # Build the R/C matrices: requirements = cells per rank; costs =
-    # profiled seconds/cell per rank (medians of noisy timings).
-    cells = np.array([float(b.interior_cells) for b in blocks])
-    costs = np.empty(NPROCS)
-    rng = machine.rng("hetero-profile")
-    for rank, block in enumerate(blocks):
-        fp = 2.0 * (block.height + 2) * (block.width + 2) * WORD
-        samples = [
-            machine.kernel_time(
-                placement.core_of(rank), STENCIL5, block.interior_cells,
-                rng=rng, footprint_bytes=fp,
-            )
-            for _ in range(9)
-        ]
-        costs[rank] = np.median(samples) / block.interior_cells
-    model = ComputationModel(
-        cells.reshape(-1, 1), costs.reshape(-1, 1), kernel_names=("stencil5",)
-    )
-    predicted = model.superstep_times()
-
-    measured = np.array(
-        [
-            machine.kernel_time_clean(
-                placement.core_of(rank), STENCIL5, b.interior_cells,
-                footprint_bytes=2.0 * (b.height + 2) * (b.width + 2) * WORD,
-            )
-            for rank, b in enumerate(blocks)
-        ]
-    )
-
-    rows = [
-        [rank, machine.topology.socket_of(placement.core_of(rank)) % 2 == 0,
-         predicted[rank] * 1e3, measured[rank] * 1e3]
-        for rank in range(NPROCS)
-    ]
-    emit("\nExtension (§3.3): heterogeneous sockets through the R/C matrices")
-    emit(format_table(
-        ["rank", "fast socket", "predicted [ms]", "measured [ms]"], rows
-    ))
-    imb_pred = model.load_imbalance()
-    imb_meas = float(measured.max() - measured.min())
-    emit(f"imbalance: predicted {imb_pred * 1e3:.3f} ms, "
-         f"measured {imb_meas * 1e3:.3f} ms")
-
-    # Per-rank predictions track measurements.
-    np.testing.assert_allclose(predicted, measured, rtol=0.25)
-    # The heterogeneity is visible and predicted: fast ranks are faster.
-    fast = np.array([
-        machine.topology.socket_of(placement.core_of(r)) % 2 == 0
-        for r in range(NPROCS)
-    ])
-    assert measured[fast].mean() < 0.8 * measured[~fast].mean()
-    assert imb_pred == pytest_approx(imb_meas, rel=0.4)
-
-    # Rebalance requirements with the profiled rates: predicted superstep
-    # shrinks toward the balanced optimum.
-    weights = (1.0 / costs) / (1.0 / costs).sum()
-    balanced_cells = weights * cells.sum()
-    balanced = ComputationModel(
-        balanced_cells.reshape(-1, 1), costs.reshape(-1, 1)
-    )
-    # The stencil is partly memory-bound, so the 2x flop-rate advantage
-    # yields a ~1.5x effective rate gap; proportional rebalancing then
-    # recovers most of the imbalance (≈ 0.81x superstep here).
-    assert balanced.superstep_times().max() < 0.85 * predicted.max()
-    emit(f"model-driven rebalance: superstep {predicted.max() * 1e3:.3f} -> "
-         f"{balanced.superstep_times().max() * 1e3:.3f} ms")
-
-    benchmark(model.superstep_times)
-
-
-def pytest_approx(value, rel):
-    import pytest
-
-    return pytest.approx(value, rel=rel)
+def test_extension_heterogeneous(regenerate):
+    regenerate("extension-heterogeneous")

@@ -1,57 +1,12 @@
 """Extension: the §5.1 spinlock study that set the framework's guidelines.
 
-Regenerates the shape of the preliminary results the thesis summarizes
-(published separately as [72]): under contention, locality — not aggregate
-bandwidth — dominates lock cost; queue locks (MCS) degrade gracefully while
-simple test-and-set storms grow with the waiter count; and the cheapest
-atomic arrival bounds any barrier from below.
+Thin wrapper over the ``extension-spinlocks`` suite spec: under
+contention, locality — not aggregate bandwidth — dominates lock cost.
+Shape claims (MCS degrades gracefully while test-and-set storms grow;
+the cheapest atomic arrival bounds any barrier from below) live on the
+spec.
 """
 
-from benchmarks.conftest import BARRIER_RUNS
-from repro.barriers import dissemination_barrier, measure_barrier
-from repro.spinlocks import barrier_lower_bound, contention_sweep, simulate_spinlock
-from repro.util.tables import format_table
 
-THREAD_COUNTS = (2, 4, 8, 16)
-
-
-def test_extension_spinlocks(benchmark, emit, xeon_machine):
-    sweep = contention_sweep(
-        xeon_machine, THREAD_COUNTS, acquisitions_per_thread=12
-    )
-    rows = []
-    for n in THREAD_COUNTS:
-        rows.append(
-            [
-                n,
-                sweep["test_and_set"][n].mean_handoff * 1e6,
-                sweep["ticket"][n].mean_handoff * 1e6,
-                sweep["mcs"][n].mean_handoff * 1e6,
-            ]
-        )
-    emit("\nExtension (§5.1): spinlock handoff cost vs contention")
-    emit(format_table(
-        ["threads", "test&set [us]", "ticket [us]", "MCS [us]"], rows
-    ))
-
-    # Queue lock degrades most gracefully; the simple lock's storm grows.
-    tas_growth = rows[-1][1] / rows[0][1]
-    mcs_growth = rows[-1][3] / rows[0][3]
-    assert tas_growth > 2.0 * mcs_growth
-    # At high contention MCS is the cheapest.
-    assert rows[-1][3] < rows[-1][1]
-
-    # The single-signal lower bound sits below any measured barrier (§5.1).
-    placement = xeon_machine.placement(16)
-    bound = barrier_lower_bound(xeon_machine, placement)
-    barrier_cost = measure_barrier(
-        xeon_machine, dissemination_barrier(16), placement, runs=BARRIER_RUNS
-    ).mean_worst
-    emit(f"single-signal lower bound: {bound * 1e6:.2f} us; measured "
-         f"16-process dissemination barrier: {barrier_cost * 1e6:.1f} us")
-    assert 0 < bound < barrier_cost
-
-    benchmark(
-        simulate_spinlock, xeon_machine, "mcs", xeon_machine.placement(8),
-        acquisitions_per_thread=8,
-    )
+def test_extension_spinlocks(regenerate):
+    regenerate("extension-spinlocks")

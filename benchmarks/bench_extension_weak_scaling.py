@@ -1,80 +1,12 @@
 """Extension: weak-mode scalability analysis (§4.3's recommendation).
 
-Not a thesis figure — an implemented consequence of §4.3: "the framework
-supports considerations of scalability with respect to problem size best in
-the weak mode", because a fixed per-process footprint keeps the profiled
-kernel rate valid at every scale.  The bench compares per-iteration
-prediction error in weak mode (fixed 256^2 cells/rank) against strong mode
-(fixed 1024^2 global) over the same process counts, asserting the weak-mode
-predictions are at least as accurate on average.
+Thin wrapper over the ``extension-weak-scaling`` suite spec: per-
+iteration prediction error in weak mode (fixed per-process footprint)
+against strong mode over the same process counts.  Shape claims (weak-
+mode predictions at least as accurate on average; weak-mode iteration
+time roughly flat) live on the spec.
 """
 
-import numpy as np
 
-from benchmarks.conftest import COMM_SAMPLES, COMM_SIZES
-from repro.bench import benchmark_comm
-from repro.stencil import (
-    decompose,
-    predict_bsp_iteration,
-    run_bsp_stencil,
-    stencil_sec_per_cell,
-)
-from repro.stencil.experiments import weak_scaling_points
-from repro.stencil.impls import WORD
-from repro.util.tables import format_table
-
-PROCESS_COUNTS = (4, 16, 64)
-LOCAL_SIDE = 256
-STRONG_N = 1024
-
-
-def _predict_and_measure(machine, nprocs, n):
-    blocks = decompose(n, nprocs)
-    placement = machine.placement(nprocs)
-    params = benchmark_comm(
-        machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    ).params
-    block = blocks[0]
-    spc = stencil_sec_per_cell(
-        machine, placement.core_of(0), block.interior_cells,
-        2.0 * (block.height + 2) * (block.width + 2) * WORD,
-    )
-    predicted = predict_bsp_iteration(blocks, spc, params).per_iteration
-    measured = run_bsp_stencil(
-        machine, nprocs, n, 5, execute_numerics=False,
-        label=f"ws-{nprocs}-{n}",
-    ).mean_iteration
-    return predicted, measured
-
-
-def test_extension_weak_scaling(benchmark, emit, xeon_machine):
-    rows = []
-    weak_errors, strong_errors = [], []
-    for nprocs in PROCESS_COUNTS:
-        n_weak = int(round((LOCAL_SIDE * LOCAL_SIDE * nprocs) ** 0.5))
-        pw, mw = _predict_and_measure(xeon_machine, nprocs, n_weak)
-        ps, ms = _predict_and_measure(xeon_machine, nprocs, STRONG_N)
-        weak_errors.append(abs(pw - mw) / mw)
-        strong_errors.append(abs(ps - ms) / ms)
-        rows.append(
-            [nprocs, n_weak, pw * 1e3, mw * 1e3, weak_errors[-1] * 100,
-             strong_errors[-1] * 100]
-        )
-    emit("\nExtension: weak-mode vs strong-mode prediction accuracy (BSP)")
-    emit(format_table(
-        ["P", "weak N", "weak pred [ms]", "weak meas [ms]",
-         "weak err [%]", "strong err [%]"],
-        rows,
-    ))
-
-    # Weak-mode predictions are at least as accurate on average: the rate
-    # profile stays in its benchmarked regime.
-    assert np.mean(weak_errors) <= np.mean(strong_errors) + 0.05
-    # Weak-mode iteration time stays roughly flat (the classic plateau).
-    results = weak_scaling_points(
-        xeon_machine, LOCAL_SIDE, PROCESS_COUNTS, noisy=False
-    )
-    times = [results[p].mean_iteration for p in PROCESS_COUNTS]
-    assert max(times) < 3.0 * min(times)
-
-    benchmark(_predict_and_measure, xeon_machine, 4, 512)
+def test_extension_weak_scaling(regenerate):
+    regenerate("extension-weak-scaling")

@@ -1,68 +1,12 @@
 """Fig. 3.2 — inner product: classic BSP estimates vs measured timings.
 
-bspinprod (strong scaling, N = 10^7 here for bench speed) measured on the
-BSPlib runtime versus Eq. 3.7 evaluated with the bspbench parameters.
-Shape claims: the measured curve behaves Amdahl-like (monotone decreasing
-toward a communication floor), the estimate diverges from measurement as P
-grows, and the two are *not* brought together by the classic four-scalar
-model — the misprediction that motivates the whole framework (§3.1).
+Thin wrapper over the ``fig-3-2`` suite spec: bspinprod strong scaling
+measured on the BSPlib runtime versus Eq. 3.7 evaluated with the bspbench
+parameters.  The shape claims (Amdahl-like measured curve, increasingly
+diverging classic estimate — the misprediction motivating the framework,
+§3.1) live on the spec in :mod:`repro.explore.figures`.
 """
 
-import numpy as np
 
-from repro.bench.bspbench import bspbench_table
-from repro.bsplib import bsp_run
-from repro.core.bsp_classic import inner_product_cost_seconds
-from repro.kernels import DOT_PRODUCT
-from repro.util.tables import format_table
-
-PROCESS_COUNTS = (8, 16, 32, 64)
-N_TOTAL = 10_000_000
-
-
-def inner_product_program(ctx, n_total):
-    p, pid = ctx.nprocs, ctx.pid
-    local_n = n_total // p
-    sums = np.zeros(p)
-    ctx.push_reg(sums)
-    ctx.sync()
-    ctx.charge_kernel(DOT_PRODUCT, local_n)
-    local = np.array([1.0])
-    for q in range(p):
-        ctx.put(q, local, sums, offset=pid)
-    ctx.sync()
-    ctx.charge_kernel(DOT_PRODUCT, p)
-    ctx.sync()
-
-
-def measure_inner_product(machine, nprocs):
-    result = bsp_run(
-        machine, nprocs, inner_product_program, N_TOTAL,
-        label=f"fig32-{nprocs}",
-    )
-    return result.total_seconds
-
-
-def test_fig_3_2(benchmark, emit, xeon_machine):
-    table = bspbench_table(xeon_machine, PROCESS_COUNTS, samples=5)
-    rows = []
-    measured_series = []
-    estimate_series = []
-    for p in PROCESS_COUNTS:
-        measured = measure_inner_product(xeon_machine, p)
-        estimate = inner_product_cost_seconds(table[p].params, N_TOTAL)
-        measured_series.append(measured)
-        estimate_series.append(estimate)
-        rows.append([p, measured, estimate, estimate / measured])
-    emit("\nFig. 3.2: inner product timings vs classic BSP estimates")
-    emit(format_table(["P", "measured [s]", "estimate [s]", "ratio"], rows))
-
-    # Measured strong scaling decreases towards a floor.
-    assert measured_series[1] < measured_series[0]
-    # The classic estimate diverges from measurement with scale.
-    ratios = [e / m for e, m in zip(estimate_series, measured_series)]
-    assert ratios[-1] > 2.0 * ratios[0] or ratios[-1] < 0.5 * ratios[0], (
-        "classic model should mispredict increasingly with P"
-    )
-
-    benchmark(measure_inner_product, xeon_machine, 8)
+def test_fig_3_2(regenerate):
+    regenerate("fig-3-2")

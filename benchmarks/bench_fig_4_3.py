@@ -1,67 +1,12 @@
 """Fig. 4.3 — rates and predictions of two kernels on a 2x4 cluster node.
 
-DAXPY and the 5-point stencil at 1024 elements: measured long runs against
-(a) their own benchmarked profiles and (b) the naive "Mflops" extrapolation
-from the DAXPY bspbench rate.  Shape claims: kernel-specific profiles track
-both kernels; the Mflops line stays close to DAXPY (its source) but
-mispredicts the stencil (§4.1).
+Thin wrapper over the ``fig-4-3`` suite spec: DAXPY and the 5-point
+stencil against (a) their own benchmarked profiles and (b) the naive
+"Mflops" extrapolation from the DAXPY rate.  The claim that
+kernel-specific profiles beat the single-figure rating (§4.1) lives on
+the spec.
 """
 
-from repro.bench.kernel_bench import (
-    benchmark_kernel,
-    extrapolate_with_rate,
-    validate_profile,
-)
-from repro.kernels import DAXPY, STENCIL5
-from repro.util.tables import format_table
 
-COUNTS = (1, 16, 256, 4096, 65536, 1048576)
-ITERATION_COUNTS = tuple(2**k for k in range(1, 11))
-
-
-def test_fig_4_3(benchmark, emit, xeon_machine):
-    daxpy_prof = benchmark_kernel(
-        xeon_machine, 0, DAXPY, 1024, iteration_counts=ITERATION_COUNTS,
-        samples=15,
-    )
-    stencil_prof = benchmark_kernel(
-        xeon_machine, 0, STENCIL5, 1024, iteration_counts=ITERATION_COUNTS,
-        samples=15,
-    )
-    mflops_rate = daxpy_prof.rate_flops
-
-    rows = []
-    mispredictions = {"own": [], "mflops": []}
-    for kernel, prof, tag in (
-        (DAXPY, daxpy_prof, "D"),
-        (STENCIL5, stencil_prof, "5P"),
-    ):
-        points = validate_profile(
-            xeon_machine, 0, kernel, prof, application_counts=COUNTS
-        )
-        for pt in points:
-            naive = float(
-                extrapolate_with_rate(mflops_rate, kernel, 1024, pt.applications)
-            )
-            rows.append(
-                [tag, pt.applications, pt.measured_seconds,
-                 pt.predicted_seconds, naive]
-            )
-            if kernel is STENCIL5:
-                mispredictions["own"].append(
-                    abs(pt.predicted_seconds - pt.measured_seconds)
-                )
-                mispredictions["mflops"].append(abs(naive - pt.measured_seconds))
-    emit("\nFig. 4.3: kernel rates and predictions (D = DAXPY, 5P = stencil)")
-    emit(format_table(
-        ["kernel", "applications", "actual [s]", "predict [s]", "Mflops [s]"],
-        rows,
-    ))
-
-    # The stencil's own profile beats the DAXPY-rate extrapolation.
-    assert sum(mispredictions["own"]) < sum(mispredictions["mflops"])
-
-    benchmark(
-        benchmark_kernel, xeon_machine, 0, DAXPY, 1024,
-        iteration_counts=ITERATION_COUNTS[:6], samples=8,
-    )
+def test_fig_4_3(regenerate):
+    regenerate("fig-4-3")

@@ -1,44 +1,10 @@
 """Fig. 4.4 — relative misprediction of two kernels on a 2x4 cluster node.
 
-Relative error of the kernel-specific extrapolations from Fig. 4.3.  Shape
-claim: the error grows with the extrapolation horizon but remains bounded
-(the thesis observes it staying under ~60% across seven orders of
-magnitude) — motivating profiles on a time scale comparable to the
-prediction target (§4.1).
+Thin wrapper over the ``fig-4-4`` suite spec: relative error of the
+kernel-specific extrapolations across seven orders of magnitude.  The
+boundedness claim (under ~60%, §4.1) lives on the spec.
 """
 
-from repro.bench.kernel_bench import benchmark_kernel, validate_profile
-from repro.kernels import DAXPY, STENCIL5
-from repro.util.tables import format_table
 
-COUNTS = (1, 16, 256, 4096, 65536, 1048576, 16777216)
-ITERATION_COUNTS = tuple(2**k for k in range(1, 11))
-
-
-def test_fig_4_4(benchmark, emit, xeon_machine):
-    rows = []
-    worst = 0.0
-    for kernel, tag in ((DAXPY, "D"), (STENCIL5, "5P")):
-        prof = benchmark_kernel(
-            xeon_machine, 0, kernel, 1024,
-            iteration_counts=ITERATION_COUNTS, samples=15,
-        )
-        points = validate_profile(
-            xeon_machine, 0, kernel, prof, application_counts=COUNTS
-        )
-        for pt in points:
-            rows.append([tag, pt.applications, pt.relative_error])
-            worst = max(worst, pt.relative_error)
-    emit("\nFig. 4.4: relative misprediction vs kernel applications")
-    emit(format_table(["kernel", "applications", "relative error"], rows))
-
-    assert worst < 0.6, "misprediction must stay bounded (thesis: < ~60%)"
-
-    prof = benchmark_kernel(
-        xeon_machine, 0, DAXPY, 1024,
-        iteration_counts=ITERATION_COUNTS[:6], samples=8,
-    )
-    benchmark(
-        validate_profile, xeon_machine, 0, DAXPY, prof,
-        application_counts=COUNTS[:4],
-    )
+def test_fig_4_4(regenerate):
+    regenerate("fig-4-4")

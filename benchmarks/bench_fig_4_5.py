@@ -1,52 +1,11 @@
 """Fig. 4.5 — L1 BLAS performance, in-cache problem sizes, Athlon X2.
 
-Median batch times of all eight single-precision L1 BLAS routines against
-memory use restricted to the 64 KB L1 capacity.  Shape claims: time is
-linear in memory use per kernel, and gradients differ across kernels —
-e.g. modelling sdot by the saxpy rate mispredicts by roughly 2x (§4.2).
+Thin wrapper over the ``fig-4-5`` suite spec: median batch times of the
+eight single-precision L1 BLAS routines inside the 64 KB L1 capacity.
+Shape claims (linear in memory use per kernel, distinct per-kernel
+gradients — the §4.2 factor-two example) live on the spec.
 """
 
-import numpy as np
 
-from repro.bench.blas_profile import in_cache_sizes, sweep_kernels
-from repro.kernels import BLAS_L1_KERNELS
-from repro.util.tables import format_table
-
-L1 = 64 * 1024
-
-
-def test_fig_4_5(benchmark, emit, athlon_machine):
-    sweeps = {}
-    for kernel in BLAS_L1_KERNELS:
-        sizes = in_cache_sizes(kernel, L1, points=12)
-        sweeps.update(
-            sweep_kernels(athlon_machine, 0, [kernel], sizes, batch=24)
-        )
-
-    rows = []
-    for name, sweep in sweeps.items():
-        for pt in sweep.points:
-            rows.append([name, pt.memory_use_bytes, pt.median_seconds * 1e6])
-    emit("\nFig. 4.5: L1 BLAS in-cache sweep (Athlon X2)")
-    emit(format_table(["kernel", "memory use [B]", "median time [us]"], rows))
-
-    # Linearity per kernel within cache.
-    for sweep in sweeps.values():
-        mem = sweep.memory_axis()
-        t = sweep.time_axis()
-        fit = np.polyfit(mem, t, 1)
-        residual = np.abs(t - np.polyval(fit, mem)).max()
-        assert residual < 0.15 * t.max(), f"{sweep.kernel_name} nonlinear in-cache"
-
-    # Distinct per-kernel costs: the §4.2 factor-two example.
-    g_axpy = sweeps["saxpy"].gradient_between(0, L1)
-    g_dot = sweeps["sdot"].gradient_between(0, L1)
-    assert abs(g_axpy - g_dot) / max(g_axpy, g_dot) > 0.15
-
-    from repro.bench.blas_profile import sweep_kernel
-    from repro.kernels import SAXPY
-
-    benchmark(
-        sweep_kernel, athlon_machine, 0, SAXPY,
-        in_cache_sizes(SAXPY, L1, points=6), batch=8,
-    )
+def test_fig_4_5(regenerate):
+    regenerate("fig-4-5")

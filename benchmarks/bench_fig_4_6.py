@@ -1,42 +1,11 @@
 """Fig. 4.6 — L1 BLAS performance up to 64K-element problems, Athlon X2.
 
-The same eight routines swept past the L1 boundary.  Shape claim: sustained
-rate develops nonlinearly — the seconds-per-byte gradient breaks upward
-around the 64 KB L1 capacity, the knee motivating piecewise-linear rate
-models (§4.2-4.3).
+Thin wrapper over the ``fig-4-6`` suite spec: the same eight routines
+swept past the L1 boundary.  The knee claim (the seconds-per-byte
+gradient breaks upward around the 64 KB capacity, motivating
+piecewise-linear rate models, §4.2-4.3) lives on the spec.
 """
 
-from repro.bench.blas_profile import beyond_cache_sizes, sweep_kernel
-from repro.kernels import BLAS_L1_KERNELS
-from repro.util.tables import format_table
 
-L1 = 64 * 1024
-LIMIT = 512 * 1024  # 64K single-precision elements of 2-vector kernels
-
-
-def test_fig_4_6(benchmark, emit, athlon_machine):
-    rows = []
-    knees = 0
-    for kernel in BLAS_L1_KERNELS:
-        sizes = beyond_cache_sizes(kernel, LIMIT, points=20)
-        sweep = sweep_kernel(athlon_machine, 0, kernel, sizes, batch=24)
-        for pt in sweep.points:
-            rows.append([kernel.name, pt.memory_use_bytes,
-                         pt.median_seconds * 1e6])
-        inside = sweep.gradient_between(0, L1)
-        outside = sweep.gradient_between(2 * L1, LIMIT)
-        if outside > 1.15 * inside:
-            knees += 1
-    emit("\nFig. 4.6: L1 BLAS sweep past the 64 KB L1 boundary (Athlon X2)")
-    emit(format_table(["kernel", "memory use [B]", "median time [us]"], rows))
-
-    assert knees == len(BLAS_L1_KERNELS), (
-        "every kernel must show the L1 gradient break"
-    )
-
-    from repro.kernels import SAXPY
-
-    benchmark(
-        sweep_kernel, athlon_machine, 0, SAXPY,
-        beyond_cache_sizes(SAXPY, LIMIT, points=8), batch=8,
-    )
+def test_fig_4_6(regenerate):
+    regenerate("fig-4-6")

@@ -1,67 +1,12 @@
 """Figs. 5.10-5.13 — barrier timings and errors, 12-way 2x6 cluster.
 
-The §5.6.6 validation on the second platform, process counts up to 144.
-Shape claims reproduced:
-
-* no pronounced power-of-two artifacts (2x6-core nodes do not favour
-  powers of two under round-robin placement);
-* the measured series leave no ambiguity that T outperforms D in all
-  multi-node configurations;
-* L remains worst with absolute errors within fractions of a millisecond
-  while overall cost reaches the ~2 ms scale.
+Thin wrapper over the ``fig-5-10-to-5-13`` suite spec: the §5.6.6
+validation on the second platform, process counts up to 144.  Shape
+claims (T beats D in non-power-of-two multi-node allocations, L worst at
+the ~2 ms scale, D/T absolute errors within fractions of a millisecond)
+live on the spec.
 """
 
-import numpy as np
 
-from benchmarks._barrier_sweep import SWEEP_HEADERS, run_sweep, sweep_rows
-from repro.util.tables import format_table
-
-PROCESS_COUNTS = tuple(range(6, 145, 6))
-
-
-def test_figs_5_10_to_5_13(benchmark, emit, opteron_machine):
-    result = run_sweep(opteron_machine, PROCESS_COUNTS, runs=12)
-
-    emit("\nFigs. 5.10/5.11: measured and predicted barrier timings (12x2x6)")
-    emit(format_table(SWEEP_HEADERS, sweep_rows(result)))
-
-    err_rows = []
-    for idx, p in enumerate(result.process_counts):
-        err_rows.append(
-            [p]
-            + [result.absolute_error(k)[idx] * 1e6 for k in ("D", "T", "L")]
-            + [result.relative_error(k)[idx] * 100.0 for k in ("D", "T", "L")]
-        )
-    emit("\nFigs. 5.12/5.13: absolute [us] and relative [%] prediction error")
-    emit(format_table(
-        ["P", "D abs", "T abs", "L abs", "D rel%", "T rel%", "L rel%"],
-        err_rows,
-    ))
-
-    counts = np.asarray(result.process_counts)
-    d_meas = np.asarray(result.measured["D"])
-    t_meas = np.asarray(result.measured["T"])
-    l_meas = np.asarray(result.measured["L"])
-
-    # T beats D for every clearly multi-node count whose *node allocation*
-    # is not a power of two.  At P = 48 and 96 the scheduler hands out 4
-    # and 8 nodes, the dissemination offsets fall node-local, and D briefly
-    # wins — the same round-robin/power-of-two arithmetic behind the Xeon
-    # oscillation (see EXPERIMENTS.md deviation notes).
-    cores_per_node = 12
-    nodes_used = -(-counts // cores_per_node)
-    pow2 = (nodes_used & (nodes_used - 1)) == 0
-    multi = (counts >= 36) & ~pow2
-    assert (t_meas[multi] < d_meas[multi]).all(), "T must win multi-node"
-    lucky = (counts >= 36) & pow2
-    assert lucky.sum() >= 1  # the exception exists and is explained
-
-    # L worst everywhere at scale, reaching the ~2 ms magnitude window.
-    assert (l_meas[multi] > t_meas[multi]).all()
-    assert 0.5e-3 < l_meas[counts == 144][0] < 5e-3
-
-    # Absolute errors stay within fractions of a millisecond.
-    for key in ("D", "T"):
-        assert np.abs(result.absolute_error(key)).max() < 0.5e-3
-
-    benchmark(run_sweep, opteron_machine, (12, 24), runs=4, comm_samples=3)
+def test_figs_5_10_to_5_13(regenerate):
+    regenerate("fig-5-10-to-5-13")

@@ -1,73 +1,16 @@
 """Figs. 6.3/6.4 — payload-carrying sync: measured timings and estimate.
 
-The BSPlib synchronisation rides the dissemination barrier with the
-message-count map as a doubling payload (§6.4-6.5).  Measured cost on both
-clusters versus the Chapter 6 estimate.  Shape claims: the payload raises
-the cost above the bare barrier, the estimate tracks the measured growth,
-and the payload overhead grows with P (the map is P x P).
+Thin wrappers over the ``fig-6-3`` and ``fig-6-4`` suite specs: the
+BSPlib synchronisation rides the dissemination barrier with the
+message-count map as payload (§6.4-6.5), measured on both clusters
+against the Chapter 6 estimate.  Shape claims (payload costs, cost grows
+with P, estimate within a small factor) live on the specs.
 """
 
-from benchmarks.conftest import COMM_SAMPLES, COMM_SIZES
-from repro.barriers import measure_barrier
-from repro.bench import benchmark_comm
-from repro.bsplib.sync_model import (
-    measure_sync_cost,
-    predict_sync_cost,
-    sync_pattern,
-)
-from repro.util.tables import format_table
 
-XEON_COUNTS = (8, 16, 24, 32, 48, 64)
-OPTERON_COUNTS = (24, 48, 72, 96, 120, 144)
+def test_fig_6_3_xeon(regenerate):
+    regenerate("fig-6-3")
 
 
-def _sweep(machine, counts):
-    rows = []
-    measured_series, predicted_series, bare_series = [], [], []
-    for nprocs in counts:
-        placement = machine.placement(nprocs)
-        report = benchmark_comm(
-            machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-        )
-        measured = measure_sync_cost(machine, placement, runs=16).mean_worst
-        predicted = predict_sync_cost(report.params)
-        bare = measure_barrier(
-            machine, sync_pattern(nprocs), placement, runs=16
-        ).mean_worst
-        rows.append([nprocs, bare * 1e6, measured * 1e6, predicted * 1e6])
-        measured_series.append(measured)
-        predicted_series.append(predicted)
-        bare_series.append(bare)
-    return rows, measured_series, predicted_series, bare_series
-
-
-def test_fig_6_3_xeon(benchmark, emit, xeon_machine):
-    rows, measured, predicted, bare = _sweep(xeon_machine, XEON_COUNTS)
-    emit("\nFig. 6.3: BSP sync measured vs estimate (8x2x4)")
-    emit(format_table(
-        ["P", "bare barrier [us]", "sync measured [us]", "sync estimate [us]"],
-        rows,
-    ))
-    assert all(m >= b for m, b in zip(measured, bare)), "payload must cost"
-    assert measured[-1] > measured[0], "sync cost grows with P"
-    # Estimate within a small factor across the sweep.
-    for m, p in zip(measured, predicted):
-        assert 0.2 < p / m < 2.5
-
-    placement = xeon_machine.placement(16)
-    benchmark(measure_sync_cost, xeon_machine, placement, runs=4)
-
-
-def test_fig_6_4_opteron(benchmark, emit, opteron_machine):
-    rows, measured, predicted, bare = _sweep(opteron_machine, OPTERON_COUNTS)
-    emit("\nFig. 6.4: BSP sync measured vs estimate (12x2x6)")
-    emit(format_table(
-        ["P", "bare barrier [us]", "sync measured [us]", "sync estimate [us]"],
-        rows,
-    ))
-    assert measured[-1] > measured[0]
-    for m, p in zip(measured, predicted):
-        assert 0.15 < p / m < 2.5
-
-    placement = opteron_machine.placement(24)
-    benchmark(measure_sync_cost, opteron_machine, placement, runs=4)
+def test_fig_6_4_opteron(regenerate):
+    regenerate("fig-6-4")

@@ -1,73 +1,16 @@
 """Figs. 7.4/7.5 — hierarchical hybrid barrier performance, both clusters.
 
-Hybrid barriers built over the SSS hierarchy (gather within nodes, one
-pattern among node representatives) measured against the flat system
-defaults.  Shape claim: the hybrid construction equals or outperforms the
-flat defaults wherever the platform has multi-node structure (§7.4).
+Thin wrappers over the ``fig-7-4`` and ``fig-7-5`` suite specs: hybrid
+barriers built over the SSS hierarchy measured against the flat system
+defaults.  The claim that the hybrid construction equals or outperforms
+the defaults wherever the platform has multi-node structure (§7.4) lives
+on the specs.
 """
 
-from benchmarks.conftest import BARRIER_RUNS, COMM_SAMPLES, COMM_SIZES
-from repro.adapt import hierarchical_barrier, sss_cluster
-from repro.adapt.greedy import _useful_levels
-from repro.adapt.hybrid import flat_defaults
-from repro.barriers import measure_barrier
-from repro.bench import benchmark_comm
-from repro.util.tables import format_table
+
+def test_fig_7_4_xeon(regenerate):
+    regenerate("fig-7-4")
 
 
-def _hybrid_vs_defaults(machine, nprocs):
-    placement = machine.placement(nprocs)
-    report = benchmark_comm(
-        machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    )
-    levels = _useful_levels(sss_cluster(report.params.latency))
-    gather = levels[:-1] if len(levels) > 1 else levels
-    hybrid = hierarchical_barrier(
-        nprocs, gather, local_kind="tree2", top_kind="dissemination"
-    )
-    row = [nprocs]
-    t_hybrid = measure_barrier(
-        machine, hybrid, placement, runs=BARRIER_RUNS
-    ).mean_worst
-    row.append(t_hybrid * 1e6)
-    defaults = {}
-    for name, pattern in flat_defaults(nprocs).items():
-        defaults[name] = measure_barrier(
-            machine, pattern, placement, runs=BARRIER_RUNS
-        ).mean_worst
-        row.append(defaults[name] * 1e6)
-    return row, t_hybrid, defaults
-
-
-def test_fig_7_4_xeon(benchmark, emit, xeon_machine):
-    rows = []
-    wins = 0
-    for nprocs in (16, 32, 48, 64):
-        row, t_hybrid, defaults = _hybrid_vs_defaults(xeon_machine, nprocs)
-        rows.append(row)
-        if t_hybrid <= min(defaults.values()) * 1.05:
-            wins += 1
-    emit("\nFig. 7.4: hybrid vs flat barrier performance (8x2x4)")
-    emit(format_table(
-        ["P", "hybrid [us]", "linear [us]", "tree [us]", "diss [us]"], rows
-    ))
-    assert wins >= 3, "hybrid must equal/beat defaults at nearly every scale"
-
-    benchmark(_hybrid_vs_defaults, xeon_machine, 16)
-
-
-def test_fig_7_5_opteron(benchmark, emit, opteron_machine):
-    rows = []
-    wins = 0
-    for nprocs in (24, 72, 144):
-        row, t_hybrid, defaults = _hybrid_vs_defaults(opteron_machine, nprocs)
-        rows.append(row)
-        if t_hybrid <= min(defaults.values()) * 1.05:
-            wins += 1
-    emit("\nFig. 7.5: hybrid vs flat barrier performance (12x2x6)")
-    emit(format_table(
-        ["P", "hybrid [us]", "linear [us]", "tree [us]", "diss [us]"], rows
-    ))
-    assert wins >= 2
-
-    benchmark(_hybrid_vs_defaults, opteron_machine, 24)
+def test_fig_7_5_opteron(regenerate):
+    regenerate("fig-7-5")

@@ -1,78 +1,16 @@
 """Figs. 7.6/7.7 — greedy-adapted barrier performance, both clusters.
 
-The fully automatic pipeline: benchmark the platform, cluster the latency
-matrix, greedily pick gather/top patterns by *predicted* cost, verify with
-the knowledge test, then measure.  Shape claim (§7.4): the adapted barriers
-equal or outperform the system defaults when measured — the end-to-end
-demonstration that the model's predictions are good enough to drive
-automatic synthesis.
+Thin wrappers over the ``fig-7-6`` and ``fig-7-7`` suite specs: the
+fully automatic pipeline — benchmark, cluster, greedily pick patterns by
+predicted cost, verify with measurement.  The claim that the adapted
+barriers equal or outperform the defaults when measured (§7.4) lives on
+the specs.
 """
 
-from benchmarks.conftest import BARRIER_RUNS, COMM_SAMPLES, COMM_SIZES
-from repro.adapt import flat_defaults, greedy_adapt
-from repro.barriers import is_correct_barrier, measure_barrier
-from repro.bench import benchmark_comm
-from repro.util.tables import format_table
+
+def test_fig_7_6_xeon(regenerate):
+    regenerate("fig-7-6")
 
 
-def _adapt_and_measure(machine, nprocs):
-    placement = machine.placement(nprocs)
-    report = benchmark_comm(
-        machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    )
-    adapted = greedy_adapt(report.params)
-    assert is_correct_barrier(adapted.pattern)
-    t_adapted = measure_barrier(
-        machine, adapted.pattern, placement, runs=BARRIER_RUNS
-    ).mean_worst
-    defaults = {
-        name: measure_barrier(machine, pattern, placement,
-                              runs=BARRIER_RUNS).mean_worst
-        for name, pattern in flat_defaults(nprocs).items()
-    }
-    return adapted, t_adapted, defaults
-
-
-def _run(machine, counts, emit, title):
-    rows = []
-    ok = 0
-    for nprocs in counts:
-        adapted, t_adapted, defaults = _adapt_and_measure(machine, nprocs)
-        rows.append(
-            [
-                nprocs,
-                adapted.pattern.name,
-                adapted.predicted_cost * 1e6,
-                t_adapted * 1e6,
-                min(defaults.values()) * 1e6,
-            ]
-        )
-        if t_adapted <= min(defaults.values()) * 1.10:
-            ok += 1
-    emit(title)
-    emit(format_table(
-        ["P", "adapted pattern", "predicted [us]", "measured [us]",
-         "best default [us]"],
-        rows,
-    ))
-    return ok, len(counts)
-
-
-def test_fig_7_6_xeon(benchmark, emit, xeon_machine):
-    ok, total = _run(
-        xeon_machine, (16, 32, 60, 64), emit,
-        "\nFig. 7.6: greedy-adapted barrier vs defaults (8x2x4)",
-    )
-    assert ok >= total - 1, "adapted must equal/outperform defaults"
-
-    benchmark(_adapt_and_measure, xeon_machine, 16)
-
-
-def test_fig_7_7_opteron(benchmark, emit, opteron_machine):
-    ok, total = _run(
-        opteron_machine, (24, 72, 144), emit,
-        "\nFig. 7.7: greedy-adapted barrier vs defaults (12x2x6)",
-    )
-    assert ok >= total - 1
-
-    benchmark(_adapt_and_measure, opteron_machine, 24)
+def test_fig_7_7_opteron(regenerate):
+    regenerate("fig-7-7")

@@ -1,105 +1,12 @@
 """Figs. 8.10-8.15 — B1-B6: prediction vs measurement for the stencil.
 
-Six prediction/measurement comparisons: {BSP, MPI, MPI+R} x {large, small}
-problem on the Xeon cluster.  For each process count the platform is
-profiled independently (comm matrices + kernel rate at the block's
-footprint), the Fig. 8.8/8.9 predictor evaluates Eq. 1.4, and the
-measured series comes from the corresponding implementation run.  Shape
-claims (§8.5.2): predictions track the strong-scaling trend for every
-implementation and problem size; accuracy is best while compute dominates
-and degrades as the contention-sensitive sync/exchange grows (the Fig.
-5.13 strain), staying within a small factor throughout.
+Thin wrapper over the ``fig-8-10-to-8-15`` suite spec: {BSP, MPI, MPI+R}
+x {large, small} prediction/measurement comparisons, each process count
+profiled independently.  Shape claims (§8.5.2: predictions track the
+strong-scaling trend everywhere and stay within a small factor) live on
+the spec.
 """
 
-from benchmarks.conftest import COMM_SAMPLES, COMM_SIZES
-from repro.bench import benchmark_comm
-from repro.stencil import (
-    decompose,
-    predict_bsp_iteration,
-    predict_mpi_iteration,
-    run_bsp_stencil,
-    run_mpi_r_stencil,
-    run_mpi_stencil,
-    stencil_sec_per_cell,
-)
-from repro.stencil.impls import WORD
-from repro.util.tables import format_table
 
-PROCESS_COUNTS = (4, 8, 16, 32, 64)
-LARGE, SMALL = 2048, 512
-ITERATIONS = 5
-
-
-def _profile(machine, nprocs, n):
-    blocks = decompose(n, nprocs)
-    placement = machine.placement(nprocs)
-    report = benchmark_comm(
-        machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    )
-    block = blocks[0]
-    spc = stencil_sec_per_cell(
-        machine,
-        placement.core_of(0),
-        block.interior_cells,
-        2.0 * (block.height + 2) * (block.width + 2) * WORD,
-    )
-    return blocks, report.params, spc
-
-
-def _series(machine, n, kind):
-    rows = []
-    ratios = []
-    for nprocs in PROCESS_COUNTS:
-        blocks, params, spc = _profile(machine, nprocs, n)
-        if kind == "BSP":
-            predicted = predict_bsp_iteration(blocks, spc, params).per_iteration
-            measured = run_bsp_stencil(
-                machine, nprocs, n, ITERATIONS, execute_numerics=False,
-                label=f"b-{kind}-{n}-{nprocs}",
-            ).mean_iteration
-        elif kind == "MPI":
-            predicted = predict_mpi_iteration(blocks, spc, params).per_iteration
-            measured = run_mpi_stencil(machine, nprocs, n, ITERATIONS).mean_iteration
-        else:
-            predicted = predict_mpi_iteration(
-                blocks, spc, params, overlap=True
-            ).per_iteration
-            measured = run_mpi_r_stencil(
-                machine, nprocs, n, ITERATIONS
-            ).mean_iteration
-        rows.append([nprocs, predicted, measured, predicted / measured])
-        ratios.append(predicted / measured)
-    return rows, ratios
-
-
-def _check(rows, ratios):
-    measured = [r[2] for r in rows]
-    predicted = [r[1] for r in rows]
-    # Both series strong-scale downward overall.
-    assert measured[-1] < measured[0]
-    assert predicted[-1] < predicted[0]
-    # Predictions stay within a small factor of measurement.
-    assert all(0.25 < r < 2.5 for r in ratios), ratios
-
-
-CASES = [
-    ("8.10", "B1", "BSP", LARGE),
-    ("8.11", "B2", "BSP", SMALL),
-    ("8.12", "B3", "MPI", LARGE),
-    ("8.13", "B4", "MPI", SMALL),
-    ("8.14", "B5", "MPI+R", LARGE),
-    ("8.15", "B6", "MPI+R", SMALL),
-]
-
-
-def test_figs_8_10_to_8_15(benchmark, emit, xeon_machine):
-    for fig, tag, kind, n in CASES:
-        rows, ratios = _series(xeon_machine, n, kind)
-        emit(f"\nFig. {fig} ({tag}): {kind} prediction vs measurement, "
-             f"{n}^2 problem")
-        emit(format_table(
-            ["P", "predicted [s]", "measured [s]", "pred/meas"], rows
-        ))
-        _check(rows, ratios)
-
-    benchmark(_profile, xeon_machine, 8, SMALL)
+def test_figs_8_10_to_8_15(regenerate):
+    regenerate("fig-8-10-to-8-15")

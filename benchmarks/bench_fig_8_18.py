@@ -1,65 +1,13 @@
 """Fig. 8.18 — C1: predicted vs measured iteration time, adapted superstep.
 
-The model-driven optimization of §8.6: sweep the shadow-cell (halo) depth,
-predict each depth's per-iteration cost with the adapted-superstep model
-(Fig. 8.17), and compare against measured charge-model executions.  Shape
-claims: deepening the halo first pays (sync amortised) then costs
-(redundant compute), both series show the trade-off, and the model's
-chosen depth sits at or adjacent to the measured optimum — the "parameter
-values to optimize for balanced overlapping" of the abstract.
+Thin wrapper over the ``fig-8-18`` suite spec: the §8.6 model-driven
+optimization — sweep the shadow-cell depth, predict each depth's cost
+with the adapted-superstep model, compare against charge-model
+executions.  Shape claims (deepening the halo first pays then costs; the
+model's chosen depth sits at or adjacent to the measured optimum) live
+on the spec.
 """
 
-from benchmarks.conftest import COMM_SAMPLES, COMM_SIZES
-from repro.bench import benchmark_comm
-from repro.stencil import (
-    decompose,
-    measure_halo_iteration,
-    optimize_halo_depth,
-    stencil_sec_per_cell,
-)
-from repro.stencil.impls import WORD
-from repro.util.tables import format_table
 
-NPROCS = 64
-N = 512
-DEPTHS = tuple(range(1, 13))
-
-
-def test_fig_8_18_c1(benchmark, emit, xeon_machine):
-    placement = xeon_machine.placement(NPROCS)
-    report = benchmark_comm(
-        xeon_machine, placement, samples=COMM_SAMPLES, sizes=COMM_SIZES
-    )
-    blocks = decompose(N, NPROCS)
-    block = blocks[0]
-    spc = stencil_sec_per_cell(
-        xeon_machine,
-        placement.core_of(0),
-        block.interior_cells,
-        2.0 * (block.height + 2) * (block.width + 2) * WORD,
-    )
-    chosen, points = optimize_halo_depth(
-        xeon_machine, NPROCS, N, DEPTHS, spc, report.params, cycles=5
-    )
-    rows = [
-        [pt.depth, pt.predicted * 1e6, pt.measured * 1e6] for pt in points
-    ]
-    emit(f"\nFig. 8.18 (C1): adapted superstep, halo depth sweep "
-         f"(P={NPROCS}, {N}^2)")
-    emit(format_table(
-        ["halo depth", "predicted [us/iter]", "measured [us/iter]"], rows
-    ))
-    measured_best = min(points, key=lambda p: p.measured).depth
-    emit(f"model-chosen depth: {chosen}; measured optimum: {measured_best}")
-
-    measured = [pt.measured for pt in points]
-    # Depth 1 is never the measured optimum here: amortising the sync pays.
-    assert measured_best > 1
-    assert measured[0] > min(measured) * 1.5
-    # The model's choice lands at or adjacent to the measured optimum
-    # region (within 3 depth steps on a 12-deep sweep).
-    assert abs(chosen - measured_best) <= 3
-
-    benchmark(
-        measure_halo_iteration, xeon_machine, NPROCS, N, 2, cycles=2
-    )
+def test_fig_8_18_c1(regenerate):
+    regenerate("fig-8-18")

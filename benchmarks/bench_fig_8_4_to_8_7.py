@@ -1,125 +1,13 @@
 """Figs. 8.4-8.7 — A1-A4: strong scalability of the stencil implementations.
 
-A1 compares all implementations; A2 isolates the BSP implementation across
-both problem sizes; A3/A4 compare selected subsets (the overlap-capable
-implementations, and BSP vs MPI).  Shape claims (§8.4):
-
-* every implementation scales down with P while compute dominates;
-* the BSP implementation carries a visible overhead over raw MPI at scale
-  (the global payload sync);
-* the restructured/hybrid implementations beat plain MPI at scale thanks
-  to overlap.
+Thin wrapper over the ``fig-8-4-to-8-7`` suite spec: all four
+implementations over both problem sizes and the A-series process counts,
+plus two noise-free points isolating the BSP-vs-MPI sync overhead.  Shape
+claims (§8.4: every implementation strong-scales, BSP carries a visible
+sync overhead over raw MPI, overlap pays at scale, the small problem
+saturates earlier) live on the spec.
 """
 
-from repro.stencil.experiments import run_strong_scaling, scaling_rows
-from repro.util.tables import format_table
 
-PROCESS_COUNTS = (4, 8, 16, 32, 64)
-ITERATIONS = 5
-LARGE, SMALL = 2048, 512
-
-
-def test_fig_8_4_a1_all_implementations(benchmark, emit, xeon_machine):
-    results = run_strong_scaling(
-        xeon_machine, ["BSP", "MPI", "MPI+R", "Hybrid"], LARGE,
-        PROCESS_COUNTS, iterations=ITERATIONS,
-    )
-    emit("\nFig. 8.4 (A1): per-iteration time, all implementations (2048^2)")
-    emit(format_table(
-        ["P", "BSP [s]", "MPI [s]", "MPI+R [s]", "Hybrid [s]"],
-        scaling_rows(results),
-    ))
-
-    for name, series in results.items():
-        t4 = series[4].mean_iteration
-        t64 = series[64].mean_iteration
-        assert t64 < t4, f"{name} must strong-scale"
-    # BSP overhead over MPI at scale (§8.4.1): checked noise-free, since at
-    # 2048^2 the gap is close to the per-iteration noise floor.
-    from repro.stencil import run_bsp_stencil, run_mpi_stencil
-
-    bsp_clean = run_bsp_stencil(
-        xeon_machine, 64, LARGE, 3, execute_numerics=False, noisy=False,
-        label="a1-clean",
-    ).mean_iteration
-    mpi_clean = run_mpi_stencil(
-        xeon_machine, 64, LARGE, 3, noisy=False
-    ).mean_iteration
-    assert bsp_clean > mpi_clean, "BSP carries sync overhead over raw MPI"
-    # Overlap pays at scale.
-    assert results["MPI+R"][64].mean_iteration < results["MPI"][64].mean_iteration
-
-    from repro.stencil import run_mpi_stencil
-
-    benchmark(run_mpi_stencil, xeon_machine, 8, 512, 2)
-
-
-def test_fig_8_5_a2_bsp_only(benchmark, emit, xeon_machine):
-    large = run_strong_scaling(
-        xeon_machine, ["BSP"], LARGE, PROCESS_COUNTS, iterations=ITERATIONS
-    )["BSP"]
-    small = run_strong_scaling(
-        xeon_machine, ["BSP"], SMALL, PROCESS_COUNTS, iterations=ITERATIONS
-    )["BSP"]
-    rows = [
-        [p, large[p].mean_iteration, small[p].mean_iteration]
-        for p in PROCESS_COUNTS
-    ]
-    emit("\nFig. 8.5 (A2): BSP implementation, large vs small problem")
-    emit(format_table(["P", "2048^2 [s]", "512^2 [s]"], rows))
-
-    # The small problem saturates earlier: its relative gain 32->64 is
-    # smaller than the large problem's.
-    gain_large = large[32].mean_iteration / large[64].mean_iteration
-    gain_small = small[32].mean_iteration / small[64].mean_iteration
-    assert gain_large > gain_small, "small problem must saturate earlier"
-
-    from repro.stencil import run_bsp_stencil
-
-    benchmark(
-        run_bsp_stencil, xeon_machine, 8, 256, 2, execute_numerics=False,
-        label="a2-bench",
-    )
-
-
-def test_fig_8_6_a3_overlap_subset(benchmark, emit, xeon_machine):
-    results = run_strong_scaling(
-        xeon_machine, ["MPI+R", "Hybrid"], LARGE, PROCESS_COUNTS,
-        iterations=ITERATIONS,
-    )
-    emit("\nFig. 8.6 (A3): overlap-capable implementations (2048^2)")
-    emit(format_table(
-        ["P", "MPI+R [s]", "Hybrid [s]"], scaling_rows(results)
-    ))
-    ratio = (
-        results["Hybrid"][64].mean_iteration
-        / results["MPI+R"][64].mean_iteration
-    )
-    assert 0.4 < ratio < 2.0, "the overlap pair must be comparable"
-
-    from repro.stencil import run_hybrid_stencil
-
-    benchmark(run_hybrid_stencil, xeon_machine, 8, 512, 2)
-
-
-def test_fig_8_7_a4_bsp_vs_mpi(benchmark, emit, xeon_machine):
-    results = run_strong_scaling(
-        xeon_machine, ["BSP", "MPI"], SMALL, PROCESS_COUNTS,
-        iterations=ITERATIONS,
-    )
-    emit("\nFig. 8.7 (A4): BSP vs MPI on the small problem (512^2)")
-    emit(format_table(["P", "BSP [s]", "MPI [s]"], scaling_rows(results)))
-
-    # The BSP overhead is *relatively* larger on the small problem at
-    # scale, where sync dominates the shrunken compute.
-    overhead_64 = (
-        results["BSP"][64].mean_iteration / results["MPI"][64].mean_iteration
-    )
-    overhead_4 = (
-        results["BSP"][4].mean_iteration / results["MPI"][4].mean_iteration
-    )
-    assert overhead_64 > overhead_4
-
-    from repro.stencil import run_mpi_stencil
-
-    benchmark(run_mpi_stencil, xeon_machine, 16, 512, 2)
+def test_figs_8_4_to_8_7(regenerate):
+    regenerate("fig-8-4-to-8-7")

@@ -1,33 +1,11 @@
 """Table 3.1 — BSPBench parameter values for the 8-way 2x4-core cluster.
 
-Regenerates the (P, r, g, l) rows: the DAXPY-derived computation rate, the
-h-relation gradient g and intercept l, for node multiples of 8 cores.
-Shape claims: r stays near 1 Gflop/s and roughly constant with P, while l
-grows by orders of magnitude as runs span more nodes — the heterogeneity
-the classic model compresses into one scalar (§3.1).
+Thin wrapper over the ``table-3-1`` suite spec: the (P, r, g, l) rows for
+node multiples of 8 cores.  Shape claims (r roughly constant near
+1 Gflop/s, l spanning orders of magnitude with scale — the heterogeneity
+the classic model compresses into one scalar, §3.1) live on the spec.
 """
 
-from repro.bench.bspbench import bspbench_table, run_bspbench
-from repro.util.tables import format_table
 
-PROCESS_COUNTS = (8, 16, 24, 32, 40, 48, 56, 64)
-
-
-def test_table_3_1(benchmark, emit, xeon_machine):
-    table = bspbench_table(xeon_machine, PROCESS_COUNTS, samples=5)
-
-    rows = []
-    for p in PROCESS_COUNTS:
-        params = table[p].params
-        rows.append([p, params.r / 1e6, params.g, params.l])
-    emit("\nTable 3.1: BSPBench parameter values (8-way 2x4-core cluster)")
-    emit(format_table(["P", "r [Mflop/s]", "g [flop]", "l [flop]"], rows))
-
-    rates = [table[p].params.r for p in PROCESS_COUNTS]
-    assert max(rates) / min(rates) < 1.5, "r should be roughly constant"
-    assert 0.5e9 < rates[0] < 2.0e9, "r should be ~1 Gflop/s"
-    assert table[64].params.l > 10 * table[8].params.l, (
-        "l must span orders of magnitude with scale"
-    )
-
-    benchmark(run_bspbench, xeon_machine, 8, samples=3)
+def test_table_3_1(regenerate):
+    regenerate("table-3-1")

@@ -1,39 +1,11 @@
 """Table 7.1 — output of 60-process SSS clustering, 8x2x4 configuration.
 
-Clusters the benchmarked pairwise latency matrix of a 60-process run on the
-Xeon cluster.  Shape claims: the hierarchy recovers the physical structure
-from latencies alone — a socket level, a node level whose subsets are
-exactly the 8 physical nodes (4x7 + 4x8 ranks under round-robin
-placement), and a single global subset.
+Thin wrapper over the ``table-7-1`` suite spec: the hierarchy recovered
+from benchmarked pairwise latencies alone — a socket level, a node level
+matching the 8 physical nodes (4x7 + 4x8 ranks under round-robin
+placement), and a single global subset.  The artifact is goldened.
 """
 
-from benchmarks.conftest import COMM_SIZES
-from repro.adapt import clustering_table, sss_cluster
-from repro.bench import benchmark_comm
-from repro.util.tables import format_table
 
-NPROCS = 60
-GAP_RATIO = 1.25  # resolve the socket/node strata of the intercepts
-
-
-def test_table_7_1(benchmark, emit, xeon_machine):
-    placement = xeon_machine.placement(NPROCS)
-    report = benchmark_comm(
-        xeon_machine, placement, samples=9, sizes=COMM_SIZES
-    )
-    levels = sss_cluster(report.params.latency, gap_ratio=GAP_RATIO)
-    emit("\nTable 7.1: 60-process SSS clustering on the 8x2x4 configuration")
-    emit(format_table(
-        ["level", "latency bound [s]", "subsets", "sizes"],
-        clustering_table(levels),
-    ))
-
-    node_level = levels[-2]
-    assert sorted(node_level.subset_sizes) == [7, 7, 7, 7, 8, 8, 8, 8], (
-        "node level must recover the physical nodes"
-    )
-    for subset in node_level.subsets:
-        assert len({placement.node_of(r) for r in subset}) == 1
-    assert levels[-1].subset_count == 1
-
-    benchmark(sss_cluster, report.params.latency, GAP_RATIO)
+def test_table_7_1(regenerate):
+    regenerate("table-7-1", golden=True)

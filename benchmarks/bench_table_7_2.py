@@ -1,35 +1,11 @@
 """Table 7.2 — output of 115-process SSS clustering, 10x2x6 configuration.
 
-The second clustering scenario: 115 processes on ten 2x6-core nodes.
-Shape claims: the node level recovers the 10 physical nodes (5x11 + 5x12
-ranks under round-robin placement) and the hierarchy closes with one
-global subset.
+Thin wrapper over the ``table-7-2`` suite spec: the second clustering
+scenario, 115 processes on ten 2x6-core nodes.  Shape claims (node level
+recovers the 10 physical nodes as 5x11 + 5x12 ranks, hierarchy closes
+with one global subset) live on the spec.
 """
 
-from benchmarks.conftest import COMM_SIZES
-from repro.adapt import clustering_table, sss_cluster
-from repro.bench import benchmark_comm
-from repro.util.tables import format_table
 
-NPROCS = 115
-GAP_RATIO = 1.25
-
-
-def test_table_7_2(benchmark, emit, cluster_10x2x6_machine):
-    machine = cluster_10x2x6_machine
-    placement = machine.placement(NPROCS)
-    report = benchmark_comm(machine, placement, samples=9, sizes=COMM_SIZES)
-    levels = sss_cluster(report.params.latency, gap_ratio=GAP_RATIO)
-    emit("\nTable 7.2: 115-process SSS clustering on the 10x2x6 configuration")
-    emit(format_table(
-        ["level", "latency bound [s]", "subsets", "sizes"],
-        clustering_table(levels),
-    ))
-
-    node_level = levels[-2]
-    assert sorted(node_level.subset_sizes) == [11] * 5 + [12] * 5
-    for subset in node_level.subsets:
-        assert len({placement.node_of(r) for r in subset}) == 1
-    assert levels[-1].subset_count == 1
-
-    benchmark(sss_cluster, report.params.latency, GAP_RATIO)
+def test_table_7_2(regenerate):
+    regenerate("table-7-2")

@@ -1,31 +1,11 @@
 """Table 8.2 — MPI and MPI+R wall times.
 
-Wall times of the plain (postponed-exchange) MPI stencil against the
-restructured overlap variant over the strong-scaling sweep.  Shape claims:
-the two are equivalent while compute dominates (small P) and MPI+R wins
-visibly once communication is a real fraction of the iteration (large P).
+Thin wrapper over the ``table-8-2`` suite spec: plain (postponed-
+exchange) MPI against the restructured overlap variant over the strong-
+scaling sweep.  Shape claims (near parity while compute dominates, MPI+R
+wins visibly once communication is a real fraction) live on the spec.
 """
 
-from repro.stencil.experiments import wall_time_rows
-from repro.util.tables import format_table
 
-N = 1024
-PROCESS_COUNTS = (4, 8, 16, 32, 64)
-ITERATIONS = 6
-
-
-def test_table_8_2(benchmark, emit, xeon_machine):
-    rows = wall_time_rows(xeon_machine, N, PROCESS_COUNTS, iterations=ITERATIONS)
-    emit("\nTable 8.2: MPI and MPI+R wall times (1024^2, 6 iterations)")
-    emit(format_table(
-        ["P", "MPI [s]", "MPI+R [s]", "MPI / MPI+R"], rows
-    ))
-
-    # Compute-dominated at P=4: near parity.
-    assert rows[0][3] < 1.25
-    # Communication-visible at P=64: restructuring pays off.
-    assert rows[-1][3] > 1.2
-
-    benchmark(
-        wall_time_rows, xeon_machine, 512, (8,), iterations=2
-    )
+def test_table_8_2(regenerate):
+    regenerate("table-8-2")

@@ -1,58 +1,40 @@
-"""Shared fixtures for the table/figure benchmark harness.
+"""Shared fixtures for the figure/table regeneration harness.
 
-Every bench regenerates one thesis artifact: it runs the experiment on the
-simulated platform, prints the artifact's rows/series (bypassing pytest's
-capture so ``pytest benchmarks/ --benchmark-only`` shows them), asserts the
-shape claims recorded in EXPERIMENTS.md, and times a representative piece
-of the pipeline through pytest-benchmark.
+Every bench module is a thin wrapper around one (or two) suite specs from
+:mod:`repro.explore.figures`: it regenerates the artifact through
+``run_campaign`` via :func:`repro.explore.suites.run_suite`, prints the
+rendered table past pytest's capture, asserts the spec's shape claims, and
+— for the goldened suites — compares the artifact against the checked-in
+fixture under ``benchmarks/goldens/``.
+
+Sampling depth (``COMM_SIZES`` / ``COMM_SAMPLES`` / ``BARRIER_RUNS``) is
+owned by the suite specs, not by fixtures here; see
+``repro.explore.figures``.
+
+The shared on-disk store under ``benchmarks/.suite-store`` makes re-runs
+near-pure cache reads; delete the directory (or a single suite's JSONL
+file) to force regeneration.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.cluster import presets
-from repro.machine import SimMachine
+from repro.explore.golden import check_golden
+from repro.explore.suites import get_suite, run_suite
 
-# Benchmarks trade sampling depth for wall time; these knobs keep every
-# module in the tens-of-seconds range while preserving the shapes.
-COMM_SIZES = tuple(2**k for k in range(0, 17, 4))
-COMM_SAMPLES = 7
-BARRIER_RUNS = 16
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+SUITE_STORE = os.path.join(_BENCH_DIR, ".suite-store")
+GOLDENS_DIR = os.path.join(_BENCH_DIR, "goldens")
 
 
-@pytest.fixture(scope="session")
-def xeon_machine():
-    """The 8x2x4 Xeon gigabit cluster (Chapters 3-8 main platform)."""
-    return SimMachine(
-        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=2012
-    )
-
-
-@pytest.fixture(scope="session")
-def opteron_machine():
-    """The 12x2x6 Opteron gigabit cluster (§5.6.6, Figs. 5.10-5.13)."""
-    return SimMachine(
-        presets.opteron_12x2x6_topology(), presets.opteron_12x2x6_params(),
-        seed=2012,
-    )
-
-
-@pytest.fixture(scope="session")
-def cluster_10x2x6_machine():
-    """The 10-node 2x6 configuration of Table 7.2."""
-    return SimMachine(
-        presets.cluster_10x2x6_topology(), presets.opteron_12x2x6_params(),
-        seed=2012,
-    )
-
-
-@pytest.fixture(scope="session")
-def athlon_machine():
-    """The Athlon X2 workstation of the §4.2 BLAS sweeps."""
-    return SimMachine(
-        presets.athlon_x2_topology(), presets.athlon_x2_params(), seed=2012
-    )
+def pytest_collection_modifyitems(items):
+    """Suite regeneration is tier-2 work: excluded from the default fast
+    run, exercised by ``pytest -m tier2 benchmarks/``."""
+    for item in items:
+        item.add_marker(pytest.mark.tier2)
 
 
 @pytest.fixture
@@ -64,3 +46,23 @@ def emit(capsys):
             print(text)
 
     return _emit
+
+
+@pytest.fixture
+def regenerate(emit):
+    """Regenerate one suite: run, render, assert claims, check golden."""
+
+    def _regenerate(name: str, golden: bool = False):
+        result = run_suite(
+            get_suite(name), store_dir=SUITE_STORE, executor="chunked"
+        )
+        emit("\n" + result.render())
+        result.check_claims()
+        if golden:
+            report = check_golden(
+                GOLDENS_DIR, name, result.artifact(), result.spec.tolerance
+            )
+            assert report.ok, report.summary()
+        return result
+
+    return _regenerate

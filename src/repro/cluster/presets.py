@@ -75,6 +75,29 @@ def xeon_8x2x4_ib_params() -> ClusterParams:
     )
 
 
+def xeon_8x2x4_fma_params() -> ClusterParams:
+    """The Xeon cluster with heterogeneous sockets (§3.3's worked example):
+    every even-numbered global socket carries a multiply-accumulate unit
+    running FMA-eligible kernels at twice the rate, giving uniformly
+    decomposed workloads a structural load imbalance scalar models miss."""
+    from dataclasses import replace
+
+    base = xeon_8x2x4_params()
+    topo = xeon_8x2x4_topology()
+    return ClusterParams(
+        links=base.links,
+        core=replace(base.core, multiply_accumulate=True),
+        nic_gap=base.nic_gap,
+        recv_overhead=base.recv_overhead,
+        invocation_overhead=base.invocation_overhead,
+        socket_rate_scale={
+            s: 2.0
+            for s in range(topo.nodes * topo.sockets_per_node)
+            if s % 2 == 0
+        },
+    )
+
+
 def opteron_12x2x6_params() -> ClusterParams:
     """12 nodes x dual-socket x hex-core AMD Opteron, gigabit ethernet (§5.6.6)."""
     return ClusterParams(
@@ -217,6 +240,12 @@ register_preset(ClusterPreset(
     params_factory=xeon_8x2x4_ib_params,
     topology_factory=xeon_8x2x4_topology,
     description="the Xeon cluster on an InfiniBand-class interconnect (§9.2.4)",
+))
+register_preset(ClusterPreset(
+    name="xeon-8x2x4-fma",
+    params_factory=xeon_8x2x4_fma_params,
+    topology_factory=xeon_8x2x4_topology,
+    description="the Xeon cluster with 2x-rate FMA units on even sockets (§3.3)",
 ))
 register_preset(ClusterPreset(
     name="opteron-12x2x6",

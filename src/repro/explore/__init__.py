@@ -15,6 +15,11 @@ bespoke benchmark scripts.
                                      group-by, rank, Pareto front
 * :mod:`repro.explore.experiments` — the experiment registry and built-in
                                      thesis adapters
+* :mod:`repro.explore.suites`      — figure/table suites: artifact
+                                     rendering and shape claims over
+                                     campaign results
+* :mod:`repro.explore.golden`      — the golden-artifact regression store
+* :mod:`repro.explore.figures`     — the thesis suite catalogue
 * :mod:`repro.explore.cli`         — ``python -m repro.explore``
 """
 
@@ -35,10 +40,32 @@ from repro.explore.campaign import (
     CampaignOutcome,
     CampaignPointError,
     CampaignStats,
+    ChunkedProcessPoolExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
     make_executor,
     run_campaign,
+)
+from repro.explore.golden import (
+    GoldenReport,
+    Tolerance,
+    check_golden,
+    compare_artifacts,
+    golden_path,
+    load_golden,
+    save_golden,
+    update_golden,
+)
+from repro.explore.suites import (
+    Claim,
+    ClaimFailure,
+    SeriesSpec,
+    SuiteResult,
+    SuiteSpec,
+    get_suite,
+    register_suite,
+    run_suite,
+    suite_names,
 )
 
 __all__ = [
@@ -61,8 +88,26 @@ __all__ = [
     "CampaignOutcome",
     "CampaignPointError",
     "CampaignStats",
+    "ChunkedProcessPoolExecutor",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "make_executor",
     "run_campaign",
+    "GoldenReport",
+    "Tolerance",
+    "check_golden",
+    "compare_artifacts",
+    "golden_path",
+    "load_golden",
+    "save_golden",
+    "update_golden",
+    "Claim",
+    "ClaimFailure",
+    "SeriesSpec",
+    "SuiteResult",
+    "SuiteSpec",
+    "get_suite",
+    "register_suite",
+    "run_suite",
+    "suite_names",
 ]

@@ -3,6 +3,10 @@
 Subcommands:
 
 * ``run SPEC.json``  — execute a campaign described by a JSON spec file,
+* ``suite [NAME]``   — regenerate a thesis figure/table suite, check its
+  shape claims, and optionally compare against / refresh its golden
+  artifact (``--check`` / ``--update-goldens``); without a name, list
+  the registered suites,
 * ``ls``             — list the campaigns in a store directory,
 * ``show NAME``      — print a campaign's stored results as a table,
 * ``presets``        — list the registered cluster presets,
@@ -78,6 +82,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{stats.failed} failed; hit rate {stats.cache_hit_rate:.0%})"
     )
     _print_results(outcome.results, sort=args.sort, limit=args.limit)
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.explore.golden import check_golden, update_golden
+    from repro.explore.suites import (
+        ClaimFailure,
+        get_suite,
+        run_suite,
+        suite_names,
+    )
+
+    if args.name is None:
+        rows = []
+        for name in suite_names():
+            spec = get_suite(name)
+            rows.append([name, spec.experiment, len(spec.space),
+                         len(spec.claims), spec.title])
+        print(format_table(
+            ["suite", "experiment", "points", "claims", "title"], rows
+        ))
+        return 0
+
+    try:
+        spec = get_suite(args.name)
+    except KeyError as exc:
+        # str() of a KeyError wraps the message in repr quotes.
+        raise SystemExit(exc.args[0]) from None
+    try:
+        result = run_suite(
+            spec,
+            store_dir=args.store_dir,
+            executor=args.executor,
+            workers=args.workers,
+        )
+    except CampaignPointError as exc:
+        raise SystemExit(str(exc)) from None
+    print(result.render())
+
+    try:
+        checked = result.check_claims()
+    except ClaimFailure as exc:
+        print(f"CLAIM FAILED: {exc}")
+        return 1
+    if checked:
+        print(f"claims ok: {', '.join(checked)}")
+
+    if args.update_goldens:
+        path = update_golden(args.goldens_dir, spec.name, result.artifact())
+        print(f"golden updated: {path}")
+    elif args.check:
+        report = check_golden(
+            args.goldens_dir, spec.name, result.artifact(), spec.tolerance
+        )
+        print(report.summary())
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -196,6 +257,39 @@ def build_parser() -> argparse.ArgumentParser:
     add_store(p_run)
     add_display(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    from repro.explore.suites import DEFAULT_GOLDENS_DIR, DEFAULT_SUITE_STORE
+
+    p_suite = sub.add_parser(
+        "suite",
+        help="regenerate a figure/table suite and check its claims/golden",
+    )
+    p_suite.add_argument(
+        "name", nargs="?", default=None,
+        help="suite to regenerate (omit to list registered suites)",
+    )
+    p_suite.add_argument(
+        "--executor", choices=sorted(EXECUTORS), default="chunked"
+    )
+    p_suite.add_argument("--workers", type=int, default=None)
+    group = p_suite.add_mutually_exclusive_group()
+    group.add_argument(
+        "--check", action="store_true",
+        help="compare the regenerated artifact against its golden",
+    )
+    group.add_argument(
+        "--update-goldens", action="store_true",
+        help="write the regenerated artifact as the new golden",
+    )
+    p_suite.add_argument(
+        "--goldens-dir", default=DEFAULT_GOLDENS_DIR,
+        help=f"golden artifact directory (default: {DEFAULT_GOLDENS_DIR})",
+    )
+    p_suite.add_argument(
+        "--store-dir", default=DEFAULT_SUITE_STORE,
+        help=f"suite campaign store (default: {DEFAULT_SUITE_STORE})",
+    )
+    p_suite.set_defaults(fn=_cmd_suite)
 
     p_ls = sub.add_parser("ls", help="list stored campaigns")
     add_store(p_ls)

@@ -1,0 +1,187 @@
+"""Golden-artifact store: versioned JSON snapshots with tolerant diffing.
+
+Every suite regeneration produces an *artifact* — the JSON rendering of a
+thesis figure or table.  Checking an artifact into the golden store turns
+the figure into a regression test: a later regeneration must reproduce the
+stored numbers within tolerance, or the check names every path that
+drifted.  Comparison is structural (missing keys, length changes, and type
+changes are always errors) and tolerance-aware only for floats, so a
+refactor that perturbs the last bits of a simulated timing passes while a
+changed pattern name or a dropped row fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any
+
+#: Bumped when the artifact JSON layout changes incompatibly; goldens
+#: written under another version fail the check with a regeneration hint.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Float comparison bounds: equal when within ``rel`` *or* ``abs``.
+
+    The defaults are tight on purpose: suite experiments build their
+    machines from (preset, seed) per point, so regenerated artifacts are
+    deterministic and the tolerance only needs to absorb cross-platform
+    floating-point and library-version drift.
+    """
+
+    rel: float = 1e-6
+    abs: float = 1e-12
+
+    def close(self, golden: float, fresh: float) -> bool:
+        if math.isnan(golden) and math.isnan(fresh):
+            return True
+        return math.isclose(golden, fresh, rel_tol=self.rel, abs_tol=self.abs)
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    """Outcome of one artifact-vs-golden comparison."""
+
+    suite: str
+    path: str
+    diffs: tuple[str, ...] = ()
+    missing: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs and not self.missing
+
+    def summary(self) -> str:
+        if self.missing:
+            return (
+                f"{self.suite}: no golden at {self.path} "
+                f"(run with --update-goldens to create it)"
+            )
+        if self.ok:
+            return f"{self.suite}: matches golden ({self.path})"
+        shown = "\n  ".join(self.diffs[:20])
+        extra = len(self.diffs) - 20
+        tail = f"\n  ... and {extra} more" if extra > 0 else ""
+        return (
+            f"{self.suite}: {len(self.diffs)} difference(s) against "
+            f"{self.path}:\n  {shown}{tail}"
+        )
+
+
+def _diff_values(path: str, golden: Any, fresh: Any, tol: Tolerance,
+                 out: list[str]) -> None:
+    """Append a human-readable line per mismatch under JSON path ``path``."""
+    # bool is an int subclass; compare it exactly and before numbers.
+    if isinstance(golden, bool) or isinstance(fresh, bool):
+        if golden is not fresh:
+            out.append(f"{path}: golden {golden!r} != fresh {fresh!r}")
+        return
+    if isinstance(golden, (int, float)) and isinstance(fresh, (int, float)):
+        if isinstance(golden, float) or isinstance(fresh, float):
+            if not tol.close(float(golden), float(fresh)):
+                out.append(
+                    f"{path}: golden {golden!r} vs fresh {fresh!r} "
+                    f"(|Δ| {abs(float(fresh) - float(golden)):.3e} exceeds "
+                    f"rel {tol.rel:g} / abs {tol.abs:g})"
+                )
+        elif golden != fresh:
+            out.append(f"{path}: golden {golden!r} != fresh {fresh!r}")
+        return
+    if type(golden) is not type(fresh):
+        out.append(
+            f"{path}: type changed from {type(golden).__name__} "
+            f"to {type(fresh).__name__}"
+        )
+        return
+    if isinstance(golden, dict):
+        for key in golden:
+            if key not in fresh:
+                out.append(f"{path}.{key}: missing from fresh artifact")
+        for key in fresh:
+            if key not in golden:
+                out.append(f"{path}.{key}: not present in golden")
+        for key in golden:
+            if key in fresh:
+                _diff_values(f"{path}.{key}", golden[key], fresh[key], tol, out)
+        return
+    if isinstance(golden, list):
+        if len(golden) != len(fresh):
+            out.append(
+                f"{path}: length changed from {len(golden)} to {len(fresh)}"
+            )
+            return
+        for idx, (g, f) in enumerate(zip(golden, fresh)):
+            _diff_values(f"{path}[{idx}]", g, f, tol, out)
+        return
+    if golden != fresh:
+        out.append(f"{path}: golden {golden!r} != fresh {fresh!r}")
+
+
+def compare_artifacts(golden: dict, fresh: dict,
+                      tolerance: Tolerance | None = None) -> list[str]:
+    """All differences between two artifacts, as ``path: detail`` lines."""
+    diffs: list[str] = []
+    _diff_values("$", golden, fresh, tolerance or Tolerance(), diffs)
+    return diffs
+
+
+def golden_path(goldens_dir: str | os.PathLike, suite: str) -> str:
+    return os.path.join(os.fspath(goldens_dir), f"{suite}.json")
+
+
+def load_golden(path: str | os.PathLike) -> dict:
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_golden(path: str | os.PathLike, artifact: dict) -> None:
+    """Write an artifact as an indented, key-sorted, diff-friendly file."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_golden(
+    goldens_dir: str | os.PathLike,
+    suite: str,
+    artifact: dict,
+    tolerance: Tolerance | None = None,
+) -> GoldenReport:
+    """Compare a fresh artifact against the stored golden for ``suite``."""
+    path = golden_path(goldens_dir, suite)
+    if not os.path.exists(path):
+        return GoldenReport(suite=suite, path=path, missing=True)
+    golden = load_golden(path)
+    stored_version = golden.get("format_version")
+    if stored_version != ARTIFACT_FORMAT_VERSION:
+        return GoldenReport(
+            suite=suite,
+            path=path,
+            diffs=(
+                f"$.format_version: golden written as version "
+                f"{stored_version!r}, current is {ARTIFACT_FORMAT_VERSION} "
+                f"— regenerate with --update-goldens",
+            ),
+        )
+    return GoldenReport(
+        suite=suite,
+        path=path,
+        diffs=tuple(compare_artifacts(golden, artifact, tolerance)),
+    )
+
+
+def update_golden(
+    goldens_dir: str | os.PathLike, suite: str, artifact: dict
+) -> str:
+    """Store ``artifact`` as the new golden; returns the written path."""
+    path = golden_path(goldens_dir, suite)
+    save_golden(path, artifact)
+    return path

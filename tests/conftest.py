@@ -1,0 +1,16 @@
+"""Tier marking for the repository test suite.
+
+Everything under ``tests/`` is tier-1 (fast, default) unless explicitly
+marked ``tier2``; the marker is added here so ``pytest -m tier1`` selects
+the default set without annotating every module.  Suite-regeneration
+tests (and everything under ``benchmarks/``) carry ``tier2`` and are
+excluded by the default ``-m "not tier2"`` in pyproject.toml.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.get_closest_marker("tier2") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -1,0 +1,135 @@
+"""Golden store: tolerant diffing, persistence, check/update round trips."""
+
+import json
+
+import pytest
+
+from repro.explore.golden import (
+    ARTIFACT_FORMAT_VERSION,
+    Tolerance,
+    check_golden,
+    compare_artifacts,
+    golden_path,
+    load_golden,
+    save_golden,
+    update_golden,
+)
+
+
+def _artifact(**overrides):
+    base = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "suite": "demo",
+        "columns": ["x", "y"],
+        "rows": [[1, 1.0], [2, 4.0]],
+        "series": {"all": {"x": [1, 2], "y": [1.0, 4.0]}},
+    }
+    base.update(overrides)
+    return base
+
+
+# ------------------------------------------------------------- comparison
+
+def test_identical_artifacts_have_no_diffs():
+    assert compare_artifacts(_artifact(), _artifact()) == []
+
+
+def test_float_within_tolerance_passes():
+    fresh = _artifact(rows=[[1, 1.0 * (1 + 1e-9)], [2, 4.0]])
+    assert compare_artifacts(_artifact(), fresh) == []
+
+
+def test_float_beyond_tolerance_fails_with_path():
+    fresh = _artifact(rows=[[1, 1.01], [2, 4.0]])
+    diffs = compare_artifacts(_artifact(), fresh)
+    assert len(diffs) == 1
+    assert diffs[0].startswith("$.rows[0][1]:")
+
+
+def test_custom_tolerance_loosens_comparison():
+    fresh = _artifact(rows=[[1, 1.01], [2, 4.0]])
+    assert compare_artifacts(_artifact(), fresh, Tolerance(rel=0.05)) == []
+
+
+def test_int_mismatch_is_exact():
+    diffs = compare_artifacts(_artifact(), _artifact(suite="demo2"))
+    assert any("$.suite" in d for d in diffs)
+    diffs = compare_artifacts(
+        _artifact(rows=[[1, 1.0], [2, 4.0]]),
+        _artifact(rows=[[3, 1.0], [2, 4.0]]),
+    )
+    assert any("$.rows[0][0]" in d for d in diffs)
+
+
+def test_bool_never_compares_as_number():
+    golden = _artifact(rows=[[True, 1.0]])
+    fresh = _artifact(rows=[[1, 1.0]])
+    assert compare_artifacts(golden, fresh)  # True != 1 here
+    assert compare_artifacts(golden, _artifact(rows=[[True, 1.0]])) == []
+
+
+def test_nan_equals_nan():
+    golden = _artifact(rows=[[1, float("nan")]])
+    fresh = _artifact(rows=[[1, float("nan")]])
+    assert compare_artifacts(golden, fresh) == []
+
+
+def test_missing_and_extra_keys_reported():
+    golden = _artifact()
+    fresh = _artifact()
+    del fresh["series"]
+    fresh["extra"] = 1
+    diffs = compare_artifacts(golden, fresh)
+    assert any("$.series: missing" in d for d in diffs)
+    assert any("$.extra: not present in golden" in d for d in diffs)
+
+
+def test_length_and_type_changes_reported():
+    diffs = compare_artifacts(_artifact(), _artifact(rows=[[1, 1.0]]))
+    assert any("length changed from 2 to 1" in d for d in diffs)
+    diffs = compare_artifacts(_artifact(), _artifact(rows="oops"))
+    assert any("type changed" in d for d in diffs)
+
+
+# ------------------------------------------------------------ persistence
+
+def test_save_load_round_trip(tmp_path):
+    path = golden_path(tmp_path, "demo")
+    save_golden(path, _artifact())
+    assert load_golden(path) == _artifact()
+    # Indented, key-sorted, newline-terminated: reviewable diffs.
+    text = (tmp_path / "demo.json").read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == _artifact()
+
+
+def test_check_golden_missing_file(tmp_path):
+    report = check_golden(tmp_path, "demo", _artifact())
+    assert report.missing and not report.ok
+    assert "--update-goldens" in report.summary()
+
+
+def test_check_golden_matches_and_diffs(tmp_path):
+    update_golden(tmp_path, "demo", _artifact())
+    assert check_golden(tmp_path, "demo", _artifact()).ok
+
+    perturbed = _artifact(rows=[[1, 1.5], [2, 4.0]])
+    report = check_golden(tmp_path, "demo", perturbed)
+    assert not report.ok
+    assert "difference(s)" in report.summary()
+
+
+def test_check_golden_format_version_mismatch(tmp_path):
+    stale = _artifact(format_version=ARTIFACT_FORMAT_VERSION - 1)
+    update_golden(tmp_path, "demo", stale)
+    report = check_golden(tmp_path, "demo", _artifact())
+    assert not report.ok
+    assert "format_version" in report.diffs[0]
+
+
+def test_tolerance_close_semantics():
+    tol = Tolerance(rel=1e-6, abs=1e-12)
+    assert tol.close(1.0, 1.0 + 1e-7)
+    assert not tol.close(1.0, 1.01)
+    assert tol.close(0.0, 1e-13)  # absolute floor near zero
+    assert tol.close(float("nan"), float("nan"))

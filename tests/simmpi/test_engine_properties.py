@@ -6,14 +6,34 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.barriers.patterns import (
+    all_to_all_barrier,
     dissemination_barrier,
     from_stages,
     linear_barrier,
+    pairwise_exchange_barrier,
     tree_barrier,
 )
 from repro.cluster import presets
 from repro.cluster.noise import QUIET
 from repro.machine import SimMachine
+
+#: Every barrier family sampled by the pattern/size property tests.
+FAMILIES = (
+    linear_barrier,
+    tree_barrier,
+    dissemination_barrier,
+    pairwise_exchange_barrier,
+    all_to_all_barrier,
+)
+
+
+def make_pattern(family_idx: int, p: int):
+    """Instantiate a sampled family at size ``p``, rounding down to a
+    power of two where the family requires one (pairwise exchange)."""
+    family = FAMILIES[family_idx]
+    if family is pairwise_exchange_barrier:
+        p = 1 << (p.bit_length() - 1)
+    return family(p)
 
 
 @pytest.fixture(scope="module")
@@ -99,3 +119,72 @@ class TestMonotonicity:
         t_base = run(machine, pattern.stages, p, entry=base_entry)
         t_late = run(machine, pattern.stages, p, entry=late_entry)
         assert (t_late >= t_base - 1e-15).all()
+
+
+class TestEngineInvariants:
+    """The suite-layer regression properties: non-negative, stage-monotone
+    event times; bit-deterministic noise-free runs; exits dominating
+    entries for every pattern family and size sampled."""
+
+    @given(
+        p=st.integers(2, 24),
+        family_idx=st.integers(0, len(FAMILIES) - 1),
+        payload=st.sampled_from([None, 64.0, 8192.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_times_nonnegative_and_stage_monotone(self, p, family_idx, payload):
+        """Exit times are never negative, and simulating one more stage of
+        a pattern can only keep or raise every process's clock."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=7,
+        )
+        pattern = make_pattern(family_idx, p)
+        p = pattern.nprocs
+        stages = pattern.stages
+        previous = np.zeros(p)
+        for k in range(1, len(stages) + 1):
+            exits = run(machine, stages[:k], p, payload=payload)
+            assert (exits >= 0.0).all()
+            assert (exits >= previous - 1e-15).all(), (
+                f"stage {k} lowered an exit time"
+            )
+            previous = exits
+
+    @given(
+        p=st.integers(2, 24),
+        family_idx=st.integers(0, len(FAMILIES) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_noise_free_runs_are_bit_deterministic(self, p, family_idx):
+        """With ``rng=None`` the engine is a pure function: repeated runs
+        agree bit for bit, not merely within tolerance."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=7,
+        )
+        pattern = make_pattern(family_idx, p)
+        p = pattern.nprocs
+        first = run(machine, pattern.stages, p, payload=256.0)
+        second = run(machine, pattern.stages, p, payload=256.0)
+        assert first.tolist() == second.tolist()
+
+    @given(
+        p=st.integers(2, 24),
+        family_idx=st.integers(0, len(FAMILIES) - 1),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exits_dominate_entries_for_every_family(self, p, family_idx, seed):
+        """Per-process exit times dominate entry times under skewed
+        arrivals for every pattern family and size sampled."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=7,
+        )
+        pattern = make_pattern(family_idx, p)
+        p = pattern.nprocs
+        rng = np.random.default_rng(seed)
+        entry = rng.uniform(0, 1e-3, p)
+        exits = run(machine, pattern.stages, p, entry=entry)
+        assert (exits >= entry - 1e-15).all()
