@@ -18,23 +18,33 @@ file) to force regeneration.
 
 from __future__ import annotations
 
-import os
+from pathlib import Path
 
 import pytest
 
 from repro.explore.golden import check_golden
-from repro.explore.suites import get_suite, run_suite
+from repro.explore.suites import (
+    DEFAULT_GOLDENS_DIR as GOLDENS_DIR,
+    DEFAULT_SUITE_STORE as SUITE_STORE,
+    get_suite,
+    run_suite,
+)
 
-_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
-SUITE_STORE = os.path.join(_BENCH_DIR, ".suite-store")
-GOLDENS_DIR = os.path.join(_BENCH_DIR, "goldens")
+
+_BENCH_DIR = Path(__file__).resolve().parent
 
 
 def pytest_collection_modifyitems(items):
     """Suite regeneration is tier-2 work: excluded from the default fast
-    run, exercised by ``pytest -m tier2 benchmarks/``."""
+    run, exercised by ``pytest -m tier2 benchmarks/``.  The hook sees the
+    whole session's items, so only those under this directory are marked —
+    a combined ``pytest tests benchmarks`` run must not drag tests/ into
+    tier 2."""
     for item in items:
-        item.add_marker(pytest.mark.tier2)
+        if item.path is not None and item.path.resolve().is_relative_to(
+            _BENCH_DIR
+        ):
+            item.add_marker(pytest.mark.tier2)
 
 
 @pytest.fixture

@@ -92,6 +92,8 @@ class ProcessPoolExecutor:
     name = "process"
 
     def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         self.workers = workers
 
     def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
@@ -113,6 +115,14 @@ class ChunkedProcessPoolExecutor:
     slices for load balancing — evaluates each chunk in one task, and
     flattens the per-chunk outputs back into task order, so its result is
     bit-identical to the serial executor's.
+
+    When the task list fits in a single chunk it is evaluated directly in
+    the calling process: there is no parallelism to win, so the pool is
+    skipped.  That fast path trades the crash isolation of the multi-chunk
+    and ``process`` paths for startup cost — a crashing experiment takes
+    the campaign process with it, and experiment side effects land in the
+    parent.  Use :class:`ProcessPoolExecutor` when isolation must hold for
+    every run regardless of sweep size.
     """
 
     name = "chunked"
@@ -122,6 +132,8 @@ class ChunkedProcessPoolExecutor:
     SLICES_PER_WORKER = 4
 
     def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.workers = workers

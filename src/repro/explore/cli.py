@@ -35,7 +35,12 @@ import json
 import os
 import sys
 
-from repro.explore.campaign import Campaign, CampaignPointError, EXECUTORS
+from repro.explore.campaign import (
+    Campaign,
+    CampaignPointError,
+    EXECUTORS,
+    make_executor,
+)
 from repro.explore.results import ResultSet
 from repro.explore.space import DesignSpace
 from repro.util.tables import format_table
@@ -110,12 +115,26 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     except KeyError as exc:
         # str() of a KeyError wraps the message in repr quotes.
         raise SystemExit(exc.args[0]) from None
+    # Validate the executor spec up front: the --update-goldens path below
+    # destroys the suite's cache, which must not happen on an invocation
+    # that was never going to run.
+    try:
+        executor = make_executor(args.executor, args.workers)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    # Golden updates must reflect the current code: store keys hash only
+    # (experiment, point), so a cached entry can predate an experiment
+    # change — drop this suite's store file and let the run repopulate it,
+    # keeping cache and golden consistent for follow-up --check runs.
+    if args.update_goldens:
+        stale = Campaign.results_path(args.store_dir, spec.name)
+        if os.path.exists(stale):
+            os.remove(stale)
     try:
         result = run_suite(
             spec,
             store_dir=args.store_dir,
-            executor=args.executor,
-            workers=args.workers,
+            executor=executor,
         )
     except CampaignPointError as exc:
         raise SystemExit(str(exc)) from None
@@ -133,6 +152,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         path = update_golden(args.goldens_dir, spec.name, result.artifact())
         print(f"golden updated: {path}")
     elif args.check:
+        if result.stats.cached:
+            print(
+                f"note: {result.stats.cached}/{result.stats.total} points "
+                f"served from the store cache; delete "
+                f"{Campaign.results_path(args.store_dir, spec.name)!r} "
+                f"to check against a from-scratch regeneration"
+            )
         report = check_golden(
             args.goldens_dir, spec.name, result.artifact(), spec.tolerance
         )

@@ -28,12 +28,36 @@ from repro.explore.golden import ARTIFACT_FORMAT_VERSION, Tolerance
 from repro.explore.results import ResultSet
 from repro.explore.space import DesignSpace, jsonable
 
+def _benchmarks_root() -> str:
+    """The ``benchmarks/`` tree the defaults below live under: the nearest
+    ancestor of this package containing one alongside an ``src/repro``
+    layout (i.e. this repository's root, as seen by the usual editable
+    install — the layout sentinel keeps the walk from adopting an
+    unrelated project's ``benchmarks/`` when installed into
+    site-packages).  Falls back to CWD-relative ``benchmarks`` when no
+    such tree exists, so the ``suite`` CLI behaves identically from any
+    working directory whenever the tree is findable."""
+    root = os.path.dirname(os.path.abspath(__file__))
+    while True:
+        candidate = os.path.join(root, "benchmarks")
+        if os.path.isdir(candidate) and os.path.isdir(
+            os.path.join(root, "src", "repro")
+        ):
+            return candidate
+        parent = os.path.dirname(root)
+        if parent == root:
+            return "benchmarks"
+        root = parent
+
+
+_BENCHMARKS_ROOT = _benchmarks_root()
+
 #: Default on-disk store shared by all suite campaigns; one JSONL file per
 #: suite, so re-running any suite is a cache read.
-DEFAULT_SUITE_STORE = os.path.join("benchmarks", ".suite-store")
+DEFAULT_SUITE_STORE = os.path.join(_BENCHMARKS_ROOT, ".suite-store")
 
 #: Default golden directory — the checked-in regression fixtures.
-DEFAULT_GOLDENS_DIR = os.path.join("benchmarks", "goldens")
+DEFAULT_GOLDENS_DIR = os.path.join(_BENCHMARKS_ROOT, "goldens")
 
 
 @dataclass(frozen=True)

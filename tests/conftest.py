@@ -7,10 +7,20 @@ tests (and everything under ``benchmarks/``) carry ``tier2`` and are
 excluded by the default ``-m "not tier2"`` in pyproject.toml.
 """
 
+from pathlib import Path
+
 import pytest
+
+_TESTS_DIR = Path(__file__).resolve().parent
 
 
 def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; only mark those under
+    # tests/, so a combined run doesn't stamp tier1 onto benchmarks/.
     for item in items:
-        if item.get_closest_marker("tier2") is None:
+        if (
+            item.path is not None
+            and item.path.resolve().is_relative_to(_TESTS_DIR)
+            and item.get_closest_marker("tier2") is None
+        ):
             item.add_marker(pytest.mark.tier1)

@@ -6,6 +6,7 @@ import pytest
 from repro.explore.campaign import (
     ChunkedProcessPoolExecutor,
     EXECUTORS,
+    SerialExecutor,
     make_executor,
     run_campaign,
 )
@@ -35,8 +36,30 @@ def test_chunk_size_validation():
         ChunkedProcessPoolExecutor(chunk_size=0)
 
 
-def test_chunked_map_empty_and_single_chunk():
+def test_chunked_map_empty_and_single_chunk(monkeypatch):
     assert ChunkedProcessPoolExecutor().map([]) == []
+
+    # A task list fitting one chunk takes the documented in-process fast
+    # path: no pool is spawned, and results still match the serial path.
+    import repro.explore.campaign as campaign_mod
+
+    def no_pool():
+        raise AssertionError("single-chunk map must not create a pool")
+
+    monkeypatch.setattr(campaign_mod, "_pool_context", no_pool)
+    tasks = [
+        ("barrier-cost", {
+            "preset": "xeon-8x2x4", "pattern": "linear", "nprocs": 4,
+            "runs": 2, "comm_samples": 3,
+        }),
+        ("barrier-cost", {
+            "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 4,
+            "runs": 2, "comm_samples": 3,
+        }),
+    ]
+    out = ChunkedProcessPoolExecutor(chunk_size=8).map(tasks)
+    assert out == SerialExecutor().map(tasks)
+    assert all(ok for ok, _ in out)
 
 
 @pytest.mark.parametrize("executor", ["process", "chunked"])

@@ -3,7 +3,6 @@
 
 import copy
 import json
-import os
 
 import pytest
 
@@ -15,12 +14,7 @@ from repro.explore.golden import (
     load_golden,
     update_golden,
 )
-from repro.explore.suites import get_suite
-
-GOLDENS_DIR = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)),
-    os.pardir, os.pardir, "benchmarks", "goldens",
-)
+from repro.explore.suites import DEFAULT_GOLDENS_DIR as GOLDENS_DIR, get_suite
 
 
 @pytest.mark.parametrize("suite", GOLDEN_SUITES)
