@@ -9,7 +9,7 @@ with P, estimate within a small factor) live on the specs.
 
 
 def test_fig_6_3_xeon(regenerate):
-    regenerate("fig-6-3")
+    regenerate("fig-6-3", golden=True)
 
 
 def test_fig_6_4_opteron(regenerate):

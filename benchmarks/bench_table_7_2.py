@@ -8,4 +8,4 @@ with one global subset) live on the spec.
 
 
 def test_table_7_2(regenerate):
-    regenerate("table-7-2")
+    regenerate("table-7-2", golden=True)

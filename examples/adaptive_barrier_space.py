@@ -1,0 +1,111 @@
+"""Surrogate-guided adaptive sampling over a barrier design space.
+
+The exhaustive campaign in ``explore_barrier_space.py`` evaluates every
+point; this example explores a 640-point space (4 patterns x 8 process
+counts x 4 machine seeds x 5 measurement depths) with a budget of a
+fraction of that, then verifies the search against the exhaustive sweep:
+
+1. the surrogate strategy observes only ``--budget`` points (default 64,
+   10% of the space), proposed batch by batch from a k-NN + linear
+   surrogate ensemble refit on everything observed so far;
+2. both runs share one JSONL store, so the verifying exhaustive campaign
+   pays only for the points the search skipped;
+3. a fixed seed makes the whole search bit-reproducible: re-running
+   proposes the identical point sequence, served from cache.
+
+Run:  python examples/adaptive_barrier_space.py [--budget N] [--verify]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro.explore import AdaptivePlan, DesignSpace, run_adaptive, run_campaign
+
+SPACE = DesignSpace.from_dict({
+    "axes": {
+        "pattern": ["linear", "tree", "dissemination", "sequential"],
+        "nprocs": [4, 6, 8, 12, 16, 24, 32, 48],
+        "seed": [2012, 2013, 2014, 2015],
+        "runs": [2, 3, 4, 5, 6],
+    },
+    "constants": {"preset": "xeon-8x2x4", "comm_samples": 3},
+})
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget", type=int, default=64,
+        help="points the search may observe (default: 64 = 10%%)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run the exhaustive sweep and report the regret",
+    )
+    args = parser.parse_args()
+
+    plan = AdaptivePlan(
+        budget=args.budget,
+        strategy="surrogate",
+        objective="measured_s",
+        batch=16,
+        seed=7,
+    )
+    print(f"space: {len(SPACE)} design points; budget: {plan.budget} "
+          f"({plan.budget / len(SPACE):.0%})\n")
+
+    with tempfile.TemporaryDirectory() as store:
+        outcome = run_adaptive(
+            "barrier-adaptive", SPACE, "barrier-cost", plan, store_dir=store
+        )
+        stats = outcome.stats
+        print(f"adaptive run: {stats.proposed} observed "
+              f"({stats.coverage:.0%} of the space) in {stats.rounds} "
+              f"rounds, {stats.evaluated} evaluated fresh")
+        best = outcome.best()
+        print(f"best found:   {best.value('measured_s') * 1e6:.2f} us at "
+              f"pattern={best.point['pattern']}, "
+              f"P={best.point['nprocs']}, seed={best.point['seed']}, "
+              f"runs={best.point['runs']}")
+
+        # Bit-reproducible: the same plan proposes the same sequence, now
+        # served entirely from the shared store.
+        again = run_adaptive(
+            "barrier-adaptive", SPACE, "barrier-cost", plan, store_dir=store
+        )
+        identical = [r.key for r in again.results] == [
+            r.key for r in outcome.results
+        ]
+        print(f"re-run bit-identical and cache-served: "
+              f"{identical and again.stats.evaluated == 0}")
+        assert identical and again.stats.evaluated == 0
+
+        if args.verify:
+            exhaustive = run_campaign(
+                "barrier-adaptive", SPACE, "barrier-cost", store_dir=store
+            )
+            print(f"\nexhaustive verification: "
+                  f"{exhaustive.stats.evaluated} points the search "
+                  f"skipped, {exhaustive.stats.cached} re-used")
+            regret = outcome.regret(exhaustive.results)
+            truth = exhaustive.results.best("measured_s")
+            ranked = exhaustive.results.ok().rank_by("measured_s")
+            rank = 1 + [r.key for r in ranked].index(best.key)
+            print(f"true best:    {truth.value('measured_s') * 1e6:.2f} us "
+                  f"at pattern={truth.point['pattern']}, "
+                  f"P={truth.point['nprocs']}")
+            print(f"search found: rank {rank} of {len(ranked)} "
+                  f"(regret {regret * 1e6:.3f} us)")
+            # The per-(seed, runs) measurement noise on this space is
+            # larger than the gap between the best patterns at P=4, so
+            # landing in the top slice — not the exact noise draw — is
+            # the meaningful claim at this budget.
+            assert rank <= max(10, len(ranked) // 20), (
+                f"search landed at rank {rank}"
+            )
+
+
+if __name__ == "__main__":
+    main()

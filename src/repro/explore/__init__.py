@@ -20,6 +20,10 @@ bespoke benchmark scripts.
                                      campaign results
 * :mod:`repro.explore.golden`      — the golden-artifact regression store
 * :mod:`repro.explore.figures`     — the thesis suite catalogue
+* :mod:`repro.explore.adaptive`    — surrogate-guided adaptive sampling:
+                                     seeded samplers, the budgeted
+                                     ``AdaptiveCampaign`` driver, and
+                                     golden-drift localisation
 * :mod:`repro.explore.cli`         — ``python -m repro.explore``
 """
 
@@ -51,6 +55,7 @@ from repro.explore.golden import (
     Tolerance,
     check_golden,
     compare_artifacts,
+    diff_rows,
     golden_path,
     load_golden,
     save_golden,
@@ -66,6 +71,21 @@ from repro.explore.suites import (
     register_suite,
     run_suite,
     suite_names,
+)
+from repro.explore.adaptive import (
+    AdaptiveCampaign,
+    AdaptiveOutcome,
+    AdaptivePlan,
+    AdaptiveStats,
+    DriftRegion,
+    DriftReport,
+    Observation,
+    SAMPLERS,
+    Sampler,
+    SpaceEncoder,
+    localize_drift,
+    make_sampler,
+    run_adaptive,
 )
 
 __all__ = [
@@ -110,4 +130,18 @@ __all__ = [
     "register_suite",
     "run_suite",
     "suite_names",
+    "diff_rows",
+    "AdaptiveCampaign",
+    "AdaptiveOutcome",
+    "AdaptivePlan",
+    "AdaptiveStats",
+    "DriftRegion",
+    "DriftReport",
+    "Observation",
+    "SAMPLERS",
+    "Sampler",
+    "SpaceEncoder",
+    "localize_drift",
+    "make_sampler",
+    "run_adaptive",
 ]

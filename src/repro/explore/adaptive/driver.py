@@ -1,0 +1,265 @@
+"""The adaptive campaign driver: budgeted propose/evaluate/observe loops.
+
+:class:`AdaptiveCampaign` is to a sampler what :class:`Campaign` is to a
+design space: it owns the evaluation plumbing — executor choice, the
+append-only JSONL store, failure policy — and loops batches of sampler
+proposals through :meth:`Campaign.serve` until the budget is spent or the
+strategy has nothing left to propose.  Because serving goes through the
+same content-hash cache as exhaustive campaigns, adaptive and exhaustive
+runs over one store *share* results in both directions: an adaptive run
+warm-starts from whatever an earlier sweep evaluated, and the points it
+evaluates make a later exhaustive run cheaper.
+
+Budget semantics: the budget counts **distinct points observed** by the
+strategy, whether they were freshly evaluated or served from the cache —
+it bounds the information the search consumes, which is what makes the
+"found the optimum on ≤ N points" claim meaningful and run-independent.
+The stats still split fresh evaluations from cache reads.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.explore.campaign import Campaign, CampaignStats
+from repro.explore.results import ResultRecord, ResultSet
+from repro.explore.space import DesignSpace
+from repro.explore.adaptive.samplers import Observation, make_sampler
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """A sampling plan as data: strategy, budget, objective(s), options.
+
+    This is the declarative form suite specs and the CLI build —
+    everything :func:`run_adaptive` needs beyond the (space, experiment)
+    pair.  ``options`` passes through to the strategy constructor
+    (``fidelity=``/``eta=`` for halving, ``explore=``/``warmup=`` for
+    surrogate, ...).
+    """
+
+    budget: int
+    strategy: str = "surrogate"
+    objective: str | None = None
+    objectives: tuple[str, ...] = ()
+    maximize: bool | tuple[str, ...] = False
+    batch: int = 16
+    seed: int = 0
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        object.__setattr__(self, "objectives", tuple(self.objectives))
+        if not isinstance(self.maximize, bool):
+            object.__setattr__(self, "maximize", tuple(self.maximize))
+        object.__setattr__(self, "options", dict(self.options))
+
+    def build_sampler(self, space: DesignSpace):
+        return make_sampler(
+            self.strategy,
+            space,
+            seed=self.seed,
+            objective=self.objective,
+            objectives=self.objectives,
+            maximize=self.maximize,
+            **self.options,
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveStats:
+    """How an adaptive run spent its budget."""
+
+    budget: int
+    space_size: int
+    proposed: int
+    evaluated: int
+    cached: int
+    failed: int
+    rounds: int
+
+    @property
+    def total(self) -> int:
+        """Points served, the :class:`CampaignStats` -compatible name — a
+        suite over an adaptive plan renders through the same template."""
+        return self.proposed
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the design space the run observed."""
+        return self.proposed / self.space_size if self.space_size else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.proposed if self.proposed else 0.0
+
+
+@dataclass(frozen=True)
+class AdaptiveOutcome:
+    """A finished adaptive run: results in evaluation order plus stats."""
+
+    name: str
+    plan: AdaptivePlan
+    results: ResultSet
+    stats: AdaptiveStats
+
+    def best(self) -> ResultRecord:
+        """The best observed record under the plan's single objective."""
+        if self.plan.objective is None:
+            raise ValueError(
+                "best() needs a single-objective plan; use front() for "
+                "Pareto plans"
+            )
+        ascending = not (
+            self.plan.maximize is True
+            or (
+                not isinstance(self.plan.maximize, bool)
+                and self.plan.objective in self.plan.maximize
+            )
+        )
+        return self.results.best(self.plan.objective, ascending=ascending)
+
+    def front(self) -> ResultSet:
+        """The observed Pareto front under the plan's objectives."""
+        objectives = self.plan.objectives or (
+            (self.plan.objective,) if self.plan.objective else ()
+        )
+        if not objectives:
+            raise ValueError("the plan names no objectives")
+        maximize = (
+            () if isinstance(self.plan.maximize, bool) and not self.plan.maximize
+            else (objectives if self.plan.maximize is True else self.plan.maximize)
+        )
+        return self.results.pareto_front(objectives, maximize=maximize)
+
+    def regret(self, exhaustive: ResultSet) -> float:
+        """Gap between the adaptive best and the true best of an
+        exhaustive result set, in objective units (0.0 = optimum found).
+
+        The exhaustive set is typically a tier-2 full sweep over the same
+        store; signs are normalised so regret is always >= 0-ish
+        ("how much worse is what the search found").
+        """
+        if self.plan.objective is None:
+            raise ValueError("regret() needs a single-objective plan")
+        ascending = not (
+            self.plan.maximize is True
+            or (
+                not isinstance(self.plan.maximize, bool)
+                and self.plan.objective in self.plan.maximize
+            )
+        )
+        found = float(self.best().value(self.plan.objective))
+        true = float(
+            exhaustive.best(
+                self.plan.objective, ascending=ascending
+            ).value(self.plan.objective)
+        )
+        return (found - true) if ascending else (true - found)
+
+
+class AdaptiveCampaign:
+    """A named (design space, experiment, plan) triple bound to a store."""
+
+    def __init__(
+        self,
+        name: str,
+        space: DesignSpace,
+        experiment: str,
+        plan: AdaptivePlan,
+        store_dir: str | os.PathLike | None = None,
+        executor: str | Any | None = None,
+        workers: int | None = None,
+        on_error: str = "raise",
+        durable: bool = False,
+    ):
+        self.plan = plan
+        # The underlying campaign owns cache, executor, and error policy;
+        # sharing its name with exhaustive runs is what shares the store.
+        self._campaign = Campaign(
+            name,
+            space,
+            experiment,
+            store_dir=store_dir,
+            executor=executor,
+            workers=workers,
+            on_error=on_error,
+            durable=durable,
+        )
+
+    @property
+    def name(self) -> str:
+        return self._campaign.name
+
+    @property
+    def space(self) -> DesignSpace:
+        return self._campaign.space
+
+    def run(self) -> AdaptiveOutcome:
+        plan = self.plan
+        sampler = plan.build_sampler(self.space)
+        records: list[ResultRecord] = []
+        evaluated = cached = failed = rounds = 0
+        while len(records) < plan.budget:
+            batch = min(plan.batch, plan.budget - len(records))
+            proposals = sampler.propose(batch)
+            if not proposals:
+                break  # strategy done (space exhausted or halving finished)
+            served, stats = self._campaign.serve(proposals)
+            sampler.observe([
+                Observation(point=point, metrics=record.metrics)
+                for point, record in zip(proposals, served)
+            ])
+            records.extend(served)
+            evaluated += stats.evaluated
+            cached += stats.cached
+            failed += stats.failed
+            rounds += 1
+        return AdaptiveOutcome(
+            name=self.name,
+            plan=plan,
+            results=ResultSet(tuple(records)),
+            stats=AdaptiveStats(
+                budget=plan.budget,
+                space_size=len(self.space),
+                proposed=len(records),
+                evaluated=evaluated,
+                cached=cached,
+                failed=failed,
+                rounds=rounds,
+            ),
+        )
+
+
+def run_adaptive(
+    name: str,
+    space: DesignSpace | Mapping[str, Any],
+    experiment: str,
+    plan: AdaptivePlan | Mapping[str, Any],
+    store_dir: str | os.PathLike | None = None,
+    executor: str | Any | None = None,
+    workers: int | None = None,
+    on_error: str = "raise",
+    durable: bool = False,
+) -> AdaptiveOutcome:
+    """One-call convenience wrapper mirroring :func:`run_campaign`."""
+    if not isinstance(space, DesignSpace):
+        space = DesignSpace.from_dict(space)
+    if not isinstance(plan, AdaptivePlan):
+        plan = AdaptivePlan(**dict(plan))
+    return AdaptiveCampaign(
+        name,
+        space,
+        experiment,
+        plan,
+        store_dir=store_dir,
+        executor=executor,
+        workers=workers,
+        on_error=on_error,
+        durable=durable,
+    ).run()

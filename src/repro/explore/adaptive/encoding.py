@@ -1,0 +1,113 @@
+"""Numeric encoding of design points for surrogates and distances.
+
+Samplers and surrogates need a geometry over the (discrete, mixed-type)
+design space: "how far apart are two configurations?" and "what does the
+objective look like as a function of position?".  A :class:`SpaceEncoder`
+maps every candidate point to a vector in the unit hypercube, one feature
+per *varying* parameter:
+
+* numeric parameters (ints/floats, not bools) are min-max scaled by
+  value, so ``nprocs=8`` and ``nprocs=16`` are closer than ``nprocs=8``
+  and ``nprocs=64`` — the ordering the surrogate exploits;
+* everything else (pattern names, presets, bools, lists) is ordinal over
+  the parameter's first-seen value order, which for grid axes is the
+  declaration order of the axis;
+* parameters constant across all candidates (the space's ``constants``
+  and single-value axes) are dropped — they carry no information.
+
+Encoding is a pure function of the candidate list, so two encoders built
+from the same expansion are bit-identical — a requirement for the seeded
+determinism the samplers guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.explore.space import DesignPoint, canonical_json
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class SpaceEncoder:
+    """Encode design points as vectors in ``[0, 1]^d``."""
+
+    def __init__(self, points: Sequence[DesignPoint | Mapping]):
+        points = [
+            p if isinstance(p, DesignPoint) else DesignPoint(p)
+            for p in points
+        ]
+        if not points:
+            raise ValueError("cannot build an encoder from zero points")
+        # First-seen value order per parameter, over the expansion order.
+        values: dict[str, dict[str, object]] = {}
+        for point in points:
+            for name, value in point.items():
+                values.setdefault(name, {}).setdefault(
+                    canonical_json(value), value
+                )
+        self._features: list[str] = []
+        self._scales: dict[str, tuple[float, float]] = {}
+        self._ordinals: dict[str, dict[str, float]] = {}
+        for name, seen in values.items():
+            if len(seen) < 2:
+                continue  # constant: no information
+            self._features.append(name)
+            if all(_is_numeric(v) for v in seen.values()):
+                lo = min(float(v) for v in seen.values())
+                hi = max(float(v) for v in seen.values())
+                self._scales[name] = (lo, hi - lo)
+            else:
+                k = len(seen) - 1
+                self._ordinals[name] = {
+                    marker: idx / k for idx, marker in enumerate(seen)
+                }
+
+    @property
+    def features(self) -> list[str]:
+        """The encoded parameter names, in first-seen order."""
+        return list(self._features)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._features)
+
+    def encode(self, point: DesignPoint | Mapping) -> np.ndarray:
+        """One point as a ``(dimensions,)`` float vector.
+
+        Unseen numeric values extrapolate through the min-max scale;
+        unseen categorical values land just past the known range (1 + 1/k)
+        so they are "far from everything" rather than an error — drift
+        refinement may probe off-grid points.
+        """
+        if not isinstance(point, DesignPoint):
+            point = DesignPoint(point)
+        vec = np.empty(len(self._features))
+        for i, name in enumerate(self._features):
+            value = point.get(name)
+            if name in self._scales:
+                lo, span = self._scales[name]
+                if not _is_numeric(value):
+                    raise TypeError(
+                        f"parameter {name!r} is numeric in the space but "
+                        f"{value!r} is not"
+                    )
+                vec[i] = (float(value) - lo) / span
+            else:
+                ordinals = self._ordinals[name]
+                marker = canonical_json(value)
+                if marker in ordinals:
+                    vec[i] = ordinals[marker]
+                else:
+                    vec[i] = 1.0 + 1.0 / max(len(ordinals), 1)
+        return vec
+
+    def encode_many(self, points: Sequence[DesignPoint | Mapping]) -> np.ndarray:
+        """A ``(len(points), dimensions)`` matrix, row order preserved."""
+        if not points:
+            return np.empty((0, len(self._features)))
+        return np.stack([self.encode(p) for p in points])

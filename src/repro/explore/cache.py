@@ -25,10 +25,16 @@ def record_key(experiment: str, point: Mapping[str, Any]) -> str:
 
 
 class ResultCache:
-    """A dict-like view over one append-only JSONL file."""
+    """A dict-like view over one append-only JSONL file.
 
-    def __init__(self, path: str | os.PathLike):
+    ``durable=True`` adds an ``fsync`` after every append, trading write
+    throughput for the guarantee that an acknowledged record survives a
+    machine crash, not just a process crash.
+    """
+
+    def __init__(self, path: str | os.PathLike, durable: bool = False):
         self.path = os.fspath(path)
+        self.durable = durable
         self._records: dict[str, dict] = {}
         self._load()
 
@@ -65,7 +71,15 @@ class ResultCache:
     # ------------------------------------------------------------- updates
 
     def put(self, key: str, record: Mapping[str, Any]) -> None:
-        """Store one record, appending it durably to the backing file."""
+        """Store one record, appending it atomically to the backing file.
+
+        The full line — record plus trailing newline — goes to the file in
+        a single ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+        campaign processes sharing a store can never interleave bytes
+        within each other's records, and a killed writer leaves at most
+        one torn *trailing* line (which :meth:`_load` skips) rather than a
+        corrupt record in the middle of the file.
+        """
         entry = {"key": key, "record": dict(record)}
         # Round-trip through JSON so the in-memory record is bit-identical
         # to what a later session will load from disk.
@@ -74,8 +88,23 @@ class ResultCache:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        payload = (line + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            written = os.write(fd, payload)
+            if written != len(payload):
+                # Short write (disk full, quota): the tail is torn and the
+                # atomicity promise no longer holds for this record — fail
+                # loudly so the campaign aborts instead of acknowledging a
+                # record the file does not carry.
+                raise OSError(
+                    f"short append to {self.path!r}: wrote {written} of "
+                    f"{len(payload)} bytes"
+                )
+            if self.durable:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def clear(self) -> None:
         self._records.clear()

@@ -21,7 +21,7 @@ import multiprocessing
 import os
 import traceback
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.explore.cache import ResultCache, record_key
 from repro.explore.experiments import run_point
@@ -218,6 +218,7 @@ class Campaign:
         executor: str | Any | None = None,
         workers: int | None = None,
         on_error: str = "raise",
+        durable: bool = False,
     ):
         if on_error not in ("raise", "store"):
             raise ValueError("on_error must be 'raise' or 'store'")
@@ -229,7 +230,9 @@ class Campaign:
         self.on_error = on_error
         self._cache: ResultCache | None = None
         if self.store_dir is not None:
-            self._cache = ResultCache(self.results_path(self.store_dir, name))
+            self._cache = ResultCache(
+                self.results_path(self.store_dir, name), durable=durable
+            )
 
     @staticmethod
     def results_path(store_dir: str | os.PathLike, name: str) -> str:
@@ -241,9 +244,19 @@ class Campaign:
 
     # ------------------------------------------------------------------ run
 
-    def run(self) -> CampaignOutcome:
-        """Evaluate all uncached points and return the full result set."""
-        points = self.space.expand()
+    def serve(
+        self, points: Sequence[DesignPoint]
+    ) -> tuple[list[ResultRecord], CampaignStats]:
+        """Serve an explicit point list: cache reads for known points, one
+        executor ``map`` for the rest, records back in point order.
+
+        This is the evaluation core both entry points share —
+        :meth:`run` serves the space's full expansion, the adaptive driver
+        (:mod:`repro.explore.adaptive`) serves each batch of sampler
+        proposals — so adaptive and exhaustive campaigns populate and
+        re-use the *same* JSONL store entries.
+        """
+        points = list(points)
         keys = [record_key(self.experiment, p) for p in points]
 
         pending: list[tuple[int, DesignPoint]] = []
@@ -294,15 +307,21 @@ class Campaign:
                 point=point.as_dict(),
                 metrics=metrics,
             ))
+        stats = CampaignStats(
+            total=len(points),
+            evaluated=len(pending),
+            cached=cached,
+            failed=failed,
+        )
+        return records, stats
+
+    def run(self) -> CampaignOutcome:
+        """Evaluate all uncached points and return the full result set."""
+        records, stats = self.serve(self.space.expand())
         return CampaignOutcome(
             name=self.name,
             results=ResultSet(tuple(records)),
-            stats=CampaignStats(
-                total=len(points),
-                evaluated=len(pending),
-                cached=cached,
-                failed=failed,
-            ),
+            stats=stats,
         )
 
 
@@ -333,6 +352,7 @@ def run_campaign(
     executor: str | Any | None = None,
     workers: int | None = None,
     on_error: str = "raise",
+    durable: bool = False,
 ) -> CampaignOutcome:
     """One-call convenience wrapper: accepts a spec dict or a DesignSpace."""
     if not isinstance(space, DesignSpace):
@@ -345,4 +365,5 @@ def run_campaign(
         executor=executor,
         workers=workers,
         on_error=on_error,
+        durable=durable,
     ).run()

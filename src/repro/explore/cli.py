@@ -3,12 +3,19 @@
 Subcommands:
 
 * ``run SPEC.json``  — execute a campaign described by a JSON spec file,
+* ``adapt SPEC.json --budget N`` — explore the spec's design space
+  adaptively: evaluate only the points the chosen ``--strategy``
+  (``surrogate``, ``stratified``, ``halving``, ``random``) proposes,
 * ``suite [NAME]``   — regenerate a thesis figure/table suite, check its
   shape claims, and optionally compare against / refresh its golden
   artifact (``--check`` / ``--update-goldens``); without a name, list
   the registered suites,
+* ``drift NAME``     — localise a failed golden to the smallest
+  offending axis region by bisection probing,
 * ``ls``             — list the campaigns in a store directory,
 * ``show NAME``      — print a campaign's stored results as a table,
+* ``results STORE``  — summarise a campaign store (counts, metric
+  ranges) and optionally export it as CSV,
 * ``presets``        — list the registered cluster presets,
 * ``experiments``    — list the registered experiments.
 
@@ -90,6 +97,122 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_option(item: str) -> tuple[str, object]:
+    """One ``key=value`` strategy option; the value parses as JSON when it
+    can (``eta=2`` is a number, ``fidelity=runs`` a string)."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"--option wants KEY=VALUE, got {item!r}")
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.explore.adaptive import AdaptivePlan, run_adaptive
+
+    spec = _load_spec(args.spec)
+    if args.objective is None and not args.objectives:
+        raise SystemExit(
+            "adapt needs --objective METRIC (or --objectives for Pareto "
+            "search)"
+        )
+    if args.maximize is None:
+        maximize: bool | tuple[str, ...] = False
+    elif args.maximize == []:
+        maximize = True
+    else:
+        maximize = tuple(args.maximize)
+    try:
+        plan = AdaptivePlan(
+            budget=args.budget,
+            strategy=args.strategy,
+            objective=args.objective,
+            objectives=tuple(args.objectives or ()),
+            maximize=maximize,
+            batch=args.batch,
+            seed=args.seed,
+            options=dict(
+                _parse_option(item) for item in (args.option or [])
+            ),
+        )
+        outcome = run_adaptive(
+            spec["name"],
+            DesignSpace.from_dict(spec["space"]),
+            spec["experiment"],
+            plan,
+            store_dir=args.store_dir,
+            executor=args.executor,
+            workers=args.workers,
+            on_error="store" if args.keep_going else "raise",
+        )
+    except CampaignPointError as exc:
+        raise SystemExit(f"{exc}\n(use --keep-going to record failed "
+                         f"points and continue)") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    stats = outcome.stats
+    print(
+        f"adaptive campaign {outcome.name!r} [{plan.strategy}]: "
+        f"{stats.proposed} of {stats.space_size} points "
+        f"({stats.coverage:.1%} coverage) in {stats.rounds} rounds; "
+        f"{stats.evaluated} evaluated, {stats.cached} cached, "
+        f"{stats.failed} failed"
+    )
+    if plan.objective is not None:
+        try:
+            best = outcome.best()
+        except ValueError as exc:
+            # No successful record carries the objective: a typo'd metric
+            # name, or every point failed under --keep-going.  The store
+            # has the evaluations; the report must say why there is no
+            # ranking rather than traceback.
+            raise SystemExit(
+                f"{exc}\n(check the metric name against "
+                f"`python -m repro.explore experiments`, and the store "
+                f"for failed points)"
+            ) from None
+        print(f"best {plan.objective}: {best.value(plan.objective)!r} "
+              f"at {dict(best.point)!r}")
+        ascending = not (
+            maximize is True
+            or (not isinstance(maximize, bool) and plan.objective in maximize)
+        )
+        shown = outcome.results.rank_by(plan.objective, ascending=ascending)
+    else:
+        shown = outcome.front()
+        print(f"observed Pareto front: {len(shown)} points")
+    _print_results(shown, sort=args.sort, limit=args.limit or 10)
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.explore.adaptive import localize_drift
+    from repro.explore.suites import get_suite
+
+    try:
+        spec = get_suite(args.name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    try:
+        report = localize_drift(
+            spec,
+            goldens_dir=args.goldens_dir,
+            store_dir=args.store_dir,
+            executor=args.executor,
+            workers=args.workers,
+            seed=args.seed,
+            probe_limit=args.probe_limit,
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(
+            f"no golden for suite {args.name!r}: {exc}"
+        ) from None
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.explore.golden import check_golden, update_golden
     from repro.explore.suites import (
@@ -135,6 +258,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             spec,
             store_dir=args.store_dir,
             executor=executor,
+            sampling=False if args.exhaustive else None,
         )
     except CampaignPointError as exc:
         raise SystemExit(str(exc)) from None
@@ -215,6 +339,58 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_records(args: argparse.Namespace) -> tuple[str, ResultSet]:
+    """Resolve the ``results`` argument: a JSONL path, or a campaign name
+    under ``--store-dir``; returns (path, records)."""
+    from repro.explore.cache import ResultCache
+    from repro.explore.results import ResultRecord
+
+    if os.path.exists(args.store) and not os.path.isdir(args.store):
+        path = args.store
+    else:
+        path = Campaign.results_path(args.store_dir, args.store)
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"no store file {args.store!r} and no stored campaign "
+                f"{args.store!r} under {args.store_dir!r} (expected {path})"
+            )
+    cache = ResultCache(path)
+    records = []
+    for key in cache.keys():
+        entry = cache.get(key)
+        records.append(ResultRecord(
+            key=key,
+            experiment=entry.get("experiment", ""),
+            point=entry.get("point", {}),
+            metrics=entry.get("metrics", entry),
+        ))
+    return path, ResultSet(tuple(records))
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    path, results = _store_records(args)
+    summary = results.summary()
+    print(f"{path}: {summary['records']} records "
+          f"({summary['failed']} failed), "
+          f"experiments: {', '.join(summary['experiments']) or '(none)'}")
+    if summary["parameters"]:
+        rows = [[n, c] for n, c in summary["parameters"].items()]
+        print(format_table(["parameter", "distinct values"], rows))
+    if summary["metrics"]:
+        rows = [
+            [name, m["count"], m["min"], m["mean"], m["max"]]
+            for name, m in summary["metrics"].items()
+        ]
+        print(format_table(["metric", "count", "min", "mean", "max"], rows))
+    if args.csv:
+        columns = results.to_csv(args.csv)
+        print(f"wrote {len(results)} records x {len(columns)} columns "
+              f"to {args.csv}")
+    if args.table:
+        _print_results(results, sort=args.sort, limit=args.limit)
+    return 0
+
+
 def _cmd_presets(args: argparse.Namespace) -> int:
     from repro.cluster.presets import PRESETS
 
@@ -284,6 +460,51 @@ def build_parser() -> argparse.ArgumentParser:
     add_display(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
+    p_adapt = sub.add_parser(
+        "adapt",
+        help="explore a spec's design space adaptively under a budget",
+    )
+    p_adapt.add_argument("spec", help="path to the campaign spec file")
+    p_adapt.add_argument(
+        "--budget", type=int, required=True,
+        help="maximum number of design points to observe",
+    )
+    p_adapt.add_argument(
+        "--strategy", default="surrogate",
+        help="sampling strategy: surrogate (default), stratified, "
+             "halving, random (aliases: lhs, active)",
+    )
+    p_adapt.add_argument(
+        "--objective", default=None,
+        help="metric to optimise (minimised unless --maximize)",
+    )
+    p_adapt.add_argument(
+        "--objectives", nargs="+", default=None, metavar="METRIC",
+        help="several metrics: Pareto search instead of a single optimum",
+    )
+    p_adapt.add_argument(
+        "--maximize", nargs="*", default=None, metavar="METRIC",
+        help="maximise the objective (bare flag) or the named metrics",
+    )
+    p_adapt.add_argument("--batch", type=int, default=16)
+    p_adapt.add_argument("--seed", type=int, default=0)
+    p_adapt.add_argument(
+        "--option", action="append", metavar="KEY=VALUE",
+        help="strategy option, repeatable (e.g. fidelity=runs, eta=2, "
+             "explore=0.5)",
+    )
+    p_adapt.add_argument(
+        "--executor", choices=sorted(EXECUTORS), default="serial"
+    )
+    p_adapt.add_argument("--workers", type=int, default=None)
+    p_adapt.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed points instead of aborting",
+    )
+    add_store(p_adapt)
+    add_display(p_adapt)
+    p_adapt.set_defaults(fn=_cmd_adapt)
+
     from repro.explore.suites import DEFAULT_GOLDENS_DIR, DEFAULT_SUITE_STORE
 
     p_suite = sub.add_parser(
@@ -315,7 +536,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-dir", default=DEFAULT_SUITE_STORE,
         help=f"suite campaign store (default: {DEFAULT_SUITE_STORE})",
     )
+    p_suite.add_argument(
+        "--exhaustive", action="store_true",
+        help="ignore the suite's sampling plan and expand the full space",
+    )
     p_suite.set_defaults(fn=_cmd_suite)
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="localise a failed golden to the offending axis region",
+    )
+    p_drift.add_argument("name", help="suite whose golden drifted")
+    p_drift.add_argument(
+        "--goldens-dir", default=DEFAULT_GOLDENS_DIR,
+        help=f"golden artifact directory (default: {DEFAULT_GOLDENS_DIR})",
+    )
+    p_drift.add_argument(
+        "--store-dir", default=None,
+        help="probe store (default: none — probes must reflect current "
+             "code, not a stale cache)",
+    )
+    p_drift.add_argument(
+        "--executor", choices=sorted(EXECUTORS), default="serial"
+    )
+    p_drift.add_argument("--workers", type=int, default=None)
+    p_drift.add_argument("--seed", type=int, default=0)
+    p_drift.add_argument(
+        "--probe-limit", type=int, default=None,
+        help="stop the witness search after N probes (default: the "
+             "whole space)",
+    )
+    p_drift.set_defaults(fn=_cmd_drift)
 
     p_ls = sub.add_parser("ls", help="list stored campaigns")
     add_store(p_ls)
@@ -326,6 +577,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_store(p_show)
     add_display(p_show)
     p_show.set_defaults(fn=_cmd_show)
+
+    p_results = sub.add_parser(
+        "results",
+        help="summarise a campaign store and optionally export CSV",
+    )
+    p_results.add_argument(
+        "store", help="path to a store .jsonl file, or a campaign name "
+                      "resolved under --store-dir",
+    )
+    p_results.add_argument("--csv", help="write the records to this CSV file")
+    p_results.add_argument(
+        "--table", action="store_true", help="also print the full table"
+    )
+    add_store(p_results)
+    add_display(p_results)
+    p_results.set_defaults(fn=_cmd_results)
 
     sub.add_parser(
         "presets", help="list cluster presets"

@@ -39,9 +39,15 @@ COMM_SAMPLES = 7
 #: Barrier measurement repetitions.
 BARRIER_RUNS = 16
 
-#: The three goldened artifacts checked on every push (see CI and
+#: The goldened artifacts checked on every push (see CI and
 #: ``benchmarks/goldens/``).
-GOLDEN_SUITES = ("fig-4-2", "fig-5-6-to-5-9", "table-7-1")
+GOLDEN_SUITES = (
+    "fig-4-2",
+    "fig-5-6-to-5-9",
+    "fig-6-3",
+    "table-7-1",
+    "table-7-2",
+)
 
 
 def _np(result: SuiteResult, series: str) -> np.ndarray:

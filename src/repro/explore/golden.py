@@ -129,6 +129,30 @@ def compare_artifacts(golden: dict, fresh: dict,
     return diffs
 
 
+def diff_rows(
+    columns: Any,
+    golden_row: Any,
+    fresh_row: Any,
+    tolerance: Tolerance | None = None,
+) -> list[str]:
+    """Differences between one golden artifact row and its regenerated
+    counterpart, labelled by column name — the point-level comparison
+    drift localisation (:func:`repro.explore.adaptive.localize_drift`)
+    runs so it can classify a *single* design point as drifted without
+    regenerating the whole artifact."""
+    tol = tolerance or Tolerance()
+    diffs: list[str] = []
+    golden_row = list(golden_row)
+    fresh_row = list(fresh_row)
+    if len(golden_row) != len(fresh_row):
+        return [
+            f"row: length changed from {len(golden_row)} to {len(fresh_row)}"
+        ]
+    for name, golden, fresh in zip(columns, golden_row, fresh_row):
+        _diff_values(str(name), golden, fresh, tol, diffs)
+    return diffs
+
+
 def golden_path(goldens_dir: str | os.PathLike, suite: str) -> str:
     return os.path.join(os.fspath(goldens_dir), f"{suite}.json")
 

@@ -188,7 +188,82 @@ class ResultSet:
                 names.setdefault(name)
         return list(names)
 
+    def summary(self) -> dict:
+        """A store-inspection digest: record/failure counts, experiments,
+        per-parameter distinct value counts, and min/mean/max over every
+        numeric metric (bools excluded) — what ``repro.explore results``
+        prints so a campaign store is readable without writing Python."""
+        experiments: dict[str, None] = {}
+        for record in self.records:
+            experiments.setdefault(record.experiment)
+        parameters = {
+            name: len({
+                json.dumps(r.point.get(name), sort_keys=True, default=str)
+                for r in self.records
+            })
+            for name in self.point_names()
+        }
+        metrics: dict[str, dict] = {}
+        for name in self.metric_names():
+            values = [
+                v for r in self.records
+                if isinstance(v := r.metrics.get(name), (int, float))
+                and not isinstance(v, bool)
+            ]
+            if not values:
+                continue
+            metrics[name] = {
+                "count": len(values),
+                "min": float(min(values)),
+                "mean": float(sum(values) / len(values)),
+                "max": float(max(values)),
+            }
+        return {
+            "records": len(self.records),
+            "failed": sum(1 for r in self.records if r.failed),
+            "experiments": list(experiments),
+            "parameters": parameters,
+            "metrics": metrics,
+        }
+
     # -------------------------------------------------------- serialisation
+
+    def to_csv(
+        self, path_or_file, columns: Sequence[str] | None = None
+    ) -> list[str]:
+        """Write the records as CSV; returns the column list written.
+
+        ``columns`` defaults to every point parameter followed by every
+        metric (minus the multiline ``traceback``); names resolve through
+        :meth:`ResultRecord.value`.  Non-scalar cells (lists, dicts) are
+        serialised as canonical JSON so the file stays one row per record.
+        """
+        import csv
+
+        if columns is None:
+            columns = [
+                c for c in self.point_names() + self.metric_names()
+                if c != "traceback"
+            ]
+        columns = list(columns)
+
+        def cell(value):
+            if value is None or isinstance(value, (str, int, float, bool)):
+                return value
+            return json.dumps(value, sort_keys=True)
+
+        def write(fh) -> None:
+            writer = csv.writer(fh, lineterminator="\n")
+            writer.writerow(columns)
+            for record in self.records:
+                writer.writerow([cell(record.value(c)) for c in columns])
+
+        if hasattr(path_or_file, "write"):
+            write(path_or_file)
+        else:
+            with open(path_or_file, "w", encoding="utf-8", newline="") as fh:
+                write(fh)
+        return columns
 
     def to_jsonl(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

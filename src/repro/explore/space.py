@@ -194,6 +194,80 @@ class DesignSpace:
     def __iter__(self) -> Iterator[DesignPoint]:
         return iter(self.expand())
 
+    def __contains__(self, point) -> bool:
+        if not isinstance(point, DesignPoint):
+            point = DesignPoint(point)
+        cached = getattr(self, "_keys", None)
+        if cached is None:
+            cached = frozenset(p.key for p in self.expand())
+            object.__setattr__(self, "_keys", cached)
+        return point.key in cached
+
+    # -------------------------------------------------------------- axis views
+
+    def axis_names(self) -> list[str]:
+        return [a.name for a in self.axes]
+
+    def axis(self, name: str) -> ParamSpec:
+        for spec in self.axes:
+            if spec.name == name:
+                return spec
+        known = ", ".join(self.axis_names())
+        raise KeyError(f"no axis {name!r} (known: {known})")
+
+    def restrict(self, **subsets: Sequence) -> "DesignSpace":
+        """A sub-space keeping only the named axes' listed values.
+
+        Axis declaration order, parent value order, constants, and the
+        explicit points consistent with the restriction are preserved, so
+        the sub-space expands to a subsequence of the parent expansion and
+        every surviving point keeps its content hash.  A campaign over the
+        sub-space therefore re-uses the parent campaign's store entries —
+        :meth:`repro.explore.adaptive.DriftRegion.subspace` builds on this
+        to re-run a localised drift region as its own focused campaign.
+        """
+        unknown = set(subsets) - set(self.axis_names())
+        if unknown:
+            raise KeyError(f"restrict names unknown axes: {sorted(unknown)}")
+        axes = []
+        for spec in self.axes:
+            if spec.name not in subsets:
+                axes.append(spec)
+                continue
+            allowed = {canonical_json(jsonable(v, f"axis {spec.name!r}"))
+                       for v in subsets[spec.name]}
+            values = tuple(
+                v for v in spec.values if canonical_json(v) in allowed
+            )
+            if not values:
+                raise ValueError(
+                    f"restriction empties axis {spec.name!r}"
+                )
+            axes.append(ParamSpec(spec.name, values))
+        points = []
+        for explicit in self.points:
+            merged = {**self.constants, **dict(explicit)}
+            keep = True
+            for name in subsets:
+                if name in merged:
+                    marker = canonical_json(
+                        jsonable(merged[name], f"axis {name!r}")
+                    )
+                    allowed = {
+                        canonical_json(jsonable(v, f"axis {name!r}"))
+                        for v in subsets[name]
+                    }
+                    if marker not in allowed:
+                        keep = False
+                        break
+            if keep:
+                points.append(explicit)
+        return DesignSpace(
+            axes=tuple(axes),
+            points=tuple(points),
+            constants=dict(self.constants),
+        )
+
     # ---------------------------------------------------------- serialisation
 
     def to_dict(self) -> dict:

@@ -1,0 +1,58 @@
+"""SpaceEncoder: feature selection, scaling, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.explore.adaptive.encoding import SpaceEncoder
+from repro.explore.space import DesignSpace
+
+from tests.explore.adaptive.conftest import bowl_space
+
+
+def test_constant_parameters_are_dropped():
+    space = bowl_space(na=4, nb=3, modes=2)
+    enc = SpaceEncoder(space.expand())
+    assert set(enc.features) == {"a", "b", "mode"}  # "runs" is constant
+    assert enc.dimensions == 3
+
+
+def test_numeric_axes_scale_by_value_not_rank():
+    space = DesignSpace.grid(n=[1, 2, 10])
+    enc = SpaceEncoder(space.expand())
+    lo, mid, hi = (enc.encode({"n": v})[0] for v in (1, 2, 10))
+    assert lo == 0.0 and hi == 1.0
+    assert mid == pytest.approx(1 / 9)  # value-proportional, not 0.5
+
+
+def test_categorical_axes_are_ordinal_in_declaration_order():
+    space = DesignSpace.grid(pattern=["tree", "linear", "dissemination"])
+    enc = SpaceEncoder(space.expand())
+    codes = [enc.encode({"pattern": p})[0]
+             for p in ("tree", "linear", "dissemination")]
+    assert codes == [0.0, 0.5, 1.0]
+
+
+def test_unseen_categorical_lands_outside_the_known_range():
+    enc = SpaceEncoder(DesignSpace.grid(pattern=["a", "b"]).expand())
+    assert enc.encode({"pattern": "zzz"})[0] > 1.0
+
+
+def test_encode_many_matches_encode_rows():
+    points = bowl_space(na=3, nb=3, modes=2).expand()
+    enc = SpaceEncoder(points)
+    matrix = enc.encode_many(points)
+    assert matrix.shape == (len(points), enc.dimensions)
+    for row, point in zip(matrix, points):
+        assert np.array_equal(row, enc.encode(point))
+
+
+def test_two_encoders_from_the_same_expansion_agree():
+    points = bowl_space(na=4, nb=4, modes=3).expand()
+    a, b = SpaceEncoder(points), SpaceEncoder(points)
+    assert a.features == b.features
+    assert np.array_equal(a.encode_many(points), b.encode_many(points))
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ValueError):
+        SpaceEncoder([])

@@ -63,3 +63,54 @@ def test_file_is_line_oriented_json(tmp_path):
     cache.put("b", {"v": 2})
     lines = [json.loads(line) for line in open(path, encoding="utf-8")]
     assert [entry["key"] for entry in lines] == ["a", "b"]
+
+
+def test_durable_cache_round_trips(tmp_path):
+    """The fsync path writes the same bytes as the default path."""
+    fast = ResultCache(tmp_path / "fast.jsonl")
+    durable = ResultCache(tmp_path / "durable.jsonl", durable=True)
+    record = {"metrics": {"cost": 0.1 + 0.2}}
+    fast.put("k", record)
+    durable.put("k", record)
+    assert (
+        (tmp_path / "fast.jsonl").read_bytes()
+        == (tmp_path / "durable.jsonl").read_bytes()
+    )
+
+
+def _append_worker(path, worker_id, count):
+    cache = ResultCache(path)
+    payload = {"blob": "x" * 512, "worker": worker_id}
+    for i in range(count):
+        cache.put(f"w{worker_id}-{i}", payload)
+
+
+def test_concurrent_appends_never_tear_records(tmp_path):
+    """Four processes hammering one store file: every line must parse —
+    O_APPEND single-write appends cannot interleave mid-record, which is
+    what lets parallel campaigns share a store without a lock."""
+    import multiprocessing
+
+    path = str(tmp_path / "shared.jsonl")
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    workers = [
+        ctx.Process(target=_append_worker, args=(path, w, 40))
+        for w in range(4)
+    ]
+    for p in workers:
+        p.start()
+    for p in workers:
+        p.join()
+        assert p.exitcode == 0
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    assert len(lines) == 160
+    keys = set()
+    for line in lines:  # strict: no torn or interleaved bytes anywhere
+        entry = json.loads(line)
+        keys.add(entry["key"])
+        assert entry["record"]["blob"] == "x" * 512
+    assert len(keys) == 160
+    assert len(ResultCache(path)) == 160

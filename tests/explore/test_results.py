@@ -100,3 +100,61 @@ def test_to_rows_and_names(rs):
     assert rs.point_names() == ["preset", "p"]
     assert rs.metric_names() == ["cost", "msgs", "error"]
     assert rs.to_rows(["preset", "cost"])[0] == ["x", 3.0]
+
+
+def test_summary_digest(rs):
+    summary = rs.summary()
+    assert summary["records"] == 5
+    assert summary["failed"] == 1
+    assert summary["experiments"] == ["test"]
+    assert summary["parameters"] == {"preset": 2, "p": 3}
+    cost = summary["metrics"]["cost"]
+    assert cost["count"] == 4  # the failed record has no cost
+    assert cost["min"] == 2.0 and cost["max"] == 4.0
+    assert cost["mean"] == pytest.approx((3.0 + 2.0 + 4.0 + 2.5) / 4)
+    assert "error" not in summary["metrics"]  # strings are not numeric
+
+
+def test_summary_of_empty_set():
+    summary = ResultSet(()).summary()
+    assert summary["records"] == 0
+    assert summary["metrics"] == {}
+
+
+def test_to_csv_default_columns(rs, tmp_path):
+    import csv
+
+    path = tmp_path / "out.csv"
+    columns = rs.to_csv(path)
+    assert columns == ["preset", "p", "cost", "msgs", "error"]
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == columns
+    assert len(rows) == 6
+    assert rows[1] == ["x", "8", "3.0", "14", ""]
+    # The failed record serialises its error string, not a crash.
+    assert rows[5][columns.index("error")] == "boom"
+
+
+def test_to_csv_explicit_columns_and_file_objects(rs):
+    import io
+
+    buffer = io.StringIO()
+    rs.to_csv(buffer, columns=["preset", "cost"])
+    lines = buffer.getvalue().splitlines()
+    assert lines[0] == "preset,cost"
+    assert lines[1] == "x,3.0"
+
+
+def test_to_csv_serialises_compound_cells(tmp_path):
+    import csv
+
+    compound = ResultSet((
+        rec("z", {"p": 8}, {"levels": [1, 2, 3], "meta": {"b": 1, "a": 2}}),
+    ))
+    path = tmp_path / "compound.csv"
+    compound.to_csv(path)
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    assert rows[1][rows[0].index("levels")] == "[1, 2, 3]"
+    assert rows[1][rows[0].index("meta")] == '{"a": 2, "b": 1}'

@@ -98,3 +98,57 @@ def test_spec_round_trip():
 def test_from_dict_rejects_unknown_keys():
     with pytest.raises(ValueError):
         DesignSpace.from_dict({"axes": {"n": [1]}, "bogus": 1})
+
+
+def test_axis_lookup():
+    space = DesignSpace.grid(pattern=["a", "b"], nprocs=[8, 16])
+    assert space.axis_names() == ["pattern", "nprocs"]
+    assert space.axis("nprocs").values == (8, 16)
+    with pytest.raises(KeyError, match="no axis"):
+        space.axis("preset")
+
+
+def test_contains_by_content_hash():
+    space = DesignSpace.from_dict({
+        "axes": {"n": [1, 2]}, "constants": {"runs": 4},
+    })
+    assert {"n": 1, "runs": 4} in space
+    assert {"runs": 4, "n": 1} in space  # order-insensitive
+    assert {"n": 3, "runs": 4} not in space
+    assert {"n": 1} not in space  # constants are part of the point
+
+
+def test_restrict_preserves_order_constants_and_hashes():
+    space = DesignSpace.from_dict({
+        "axes": {"pattern": ["a", "b", "c"], "nprocs": [8, 16, 32]},
+        "constants": {"runs": 4},
+    })
+    sub = space.restrict(pattern=["c", "a"], nprocs=[16])
+    # Axis order and parent value order survive (not the argument order).
+    assert sub.axis("pattern").values == ("a", "c")
+    assert len(sub) == 2
+    parent_keys = {p.key for p in space.expand()}
+    assert all(p.key in parent_keys for p in sub.expand())
+    # Expansion is a subsequence of the parent expansion.
+    sub_keys = [p.key for p in sub.expand()]
+    parent_seq = [p.key for p in space.expand() if p.key in set(sub_keys)]
+    assert sub_keys == parent_seq
+
+
+def test_restrict_filters_explicit_points():
+    space = DesignSpace.from_dict({
+        "axes": {"n": [1, 2, 3]},
+        "points": [{"n": 2, "tag": "keep"}, {"n": 3, "tag": "drop"}],
+    })
+    sub = space.restrict(n=[1, 2])
+    assert len(sub) == 3  # n=1, n=2, and the matching explicit point
+    assert any(p.get("tag") == "keep" for p in sub)
+    assert not any(p.get("tag") == "drop" for p in sub)
+
+
+def test_restrict_validation():
+    space = DesignSpace.grid(n=[1, 2])
+    with pytest.raises(KeyError, match="unknown axes"):
+        space.restrict(m=[1])
+    with pytest.raises(ValueError, match="empties"):
+        space.restrict(n=[99])
