@@ -1,0 +1,237 @@
+"""Engine performance trajectory: batch engine, campaigns, profile cache.
+
+Run as a script to (re)generate ``BENCH_engine.json`` at the repository
+root — the repo's performance trajectory artifact::
+
+    python benchmarks/bench_perf_engine.py            # full configuration
+    python benchmarks/bench_perf_engine.py --quick    # CI perf-smoke sizing
+
+Schema of ``BENCH_engine.json`` (``repro-bench-engine/v1``)::
+
+    {
+      "schema": "repro-bench-engine/v1",
+      "quick": bool,              # --quick sizing, not the headline config
+      "unix_time": float,         # time.time() at write
+      "cases": {
+        "engine_batch_vs_reference": {
+          "pattern": str, "nprocs": int, "runs": int, "repeats": int,
+          "reference_s": float,   # best-of-repeats: runs x scalar engine
+          "batch_s": float,       # best-of-repeats: one (runs, P) batch
+          "speedup": float        # reference_s / batch_s  (target: >= 10)
+        },
+        "campaign_end_to_end": {
+          "points": int, "cold_s": float, "warm_s": float,
+          "points_per_s_cold": float,
+          "cache_hit_rate_warm": float      # 1.0 = pure store read
+        },
+        "profile_cache": {
+          "benchmark_s": float,   # one uncached comm-bench profile
+          "memo_hit_s": float,    # in-process memo hit
+          "disk_load_s": float,   # fresh process: configure + disk hit
+          "speedup": float        # benchmark_s / disk_load_s
+        }
+      }
+    }
+
+All timings are wall-clock ``time.perf_counter`` seconds.  The headline
+acceptance number is ``engine_batch_vs_reference.speedup`` on the full
+configuration (dissemination, P=64, runs=256); ``--quick`` shrinks every
+case so a CI smoke step finishes in seconds.  The tier-2 pytest wrapper
+below runs the quick configuration and asserts a conservative floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_engine(quick: bool) -> dict:
+    """runs x scalar reference engine vs one replication batch."""
+    from repro.barriers.patterns import dissemination_barrier
+    from repro.cluster.presets import make_preset_machine
+    from repro.simmpi import reference
+    from repro.simmpi.engine import simulate_stages_batch
+
+    nprocs, runs, repeats = (32, 64, 2) if quick else (64, 256, 3)
+    machine = make_preset_machine("xeon-8x2x4")
+    pattern = dissemination_barrier(nprocs)
+    truth = machine.comm_truth(machine.placement(nprocs))
+
+    def run_reference():
+        rng = machine.rng("bench-ref")
+        for _ in range(runs):
+            reference.simulate_stages(
+                truth, pattern.stages, rng=rng, noise=machine.noise
+            )
+
+    def run_batch():
+        simulate_stages_batch(
+            truth, pattern.stages, runs=runs,
+            rng=machine.rng("bench-ref"), noise=machine.noise,
+        )
+
+    reference_s = _best_of(repeats, run_reference)
+    batch_s = _best_of(repeats, run_batch)
+    return {
+        "pattern": "dissemination",
+        "nprocs": nprocs,
+        "runs": runs,
+        "repeats": repeats,
+        "reference_s": reference_s,
+        "batch_s": batch_s,
+        "speedup": reference_s / batch_s,
+    }
+
+
+def bench_campaign(quick: bool) -> dict:
+    """Cold vs warm barrier-cost campaign through the JSONL store."""
+    from repro.explore import DesignSpace, run_campaign
+
+    spec = {
+        "axes": {
+            "pattern": ["linear", "tree"] if quick
+            else ["linear", "tree", "dissemination", "pairwise"],
+            "nprocs": [8] if quick else [8, 16, 32],
+        },
+        "constants": {
+            "preset": "xeon-8x2x4",
+            "runs": 8 if quick else 32,
+        },
+    }
+    space = DesignSpace.from_dict(spec)
+    from repro.bench.profile_cache import PROFILE_CACHE
+
+    try:
+        with tempfile.TemporaryDirectory() as store:
+            start = time.perf_counter()
+            cold = run_campaign("bench-engine", space, "barrier-cost",
+                                store_dir=store)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_campaign("bench-engine", space, "barrier-cost",
+                                store_dir=store)
+            warm_s = time.perf_counter() - start
+    finally:
+        # The campaigns bound the global profile cache to the (deleted)
+        # temp store; detach so later misses never write there.
+        PROFILE_CACHE.configure(None)
+    return {
+        "points": cold.stats.total,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "points_per_s_cold": cold.stats.total / cold_s,
+        "cache_hit_rate_warm": warm.stats.cache_hit_rate,
+    }
+
+
+def bench_profile_cache(quick: bool) -> dict:
+    """Uncached profile vs memo hit vs fresh-process disk load."""
+    from repro.barriers.evaluate import FAST_COMM_SIZES
+    from repro.bench.profile_cache import ProfileCache, store_path_for
+    from repro.cluster.presets import make_preset_machine
+
+    nprocs = 16 if quick else 32
+    samples = 5
+    machine = make_preset_machine("xeon-8x2x4")
+    placement = machine.placement(nprocs)
+    with tempfile.TemporaryDirectory() as store:
+        cache = ProfileCache()
+        cache.configure(store_path_for(store))
+        start = time.perf_counter()
+        cache.get_or_benchmark(machine, placement, samples, FAST_COMM_SIZES)
+        benchmark_s = time.perf_counter() - start
+
+        memo_hit_s = _best_of(3, lambda: cache.get_or_benchmark(
+            machine, placement, samples, FAST_COMM_SIZES
+        ))
+
+        def disk_load():
+            fresh = ProfileCache()  # simulates a new campaign process
+            fresh.configure(store_path_for(store))
+            fresh.get_or_benchmark(
+                machine, placement, samples, FAST_COMM_SIZES
+            )
+            assert fresh.misses == 0
+
+        disk_load_s = _best_of(3, disk_load)
+    return {
+        "benchmark_s": benchmark_s,
+        "memo_hit_s": memo_hit_s,
+        "disk_load_s": disk_load_s,
+        "speedup": benchmark_s / disk_load_s,
+    }
+
+
+def run_all(quick: bool) -> dict:
+    return {
+        "schema": "repro-bench-engine/v1",
+        "quick": quick,
+        "unix_time": time.time(),
+        "cases": {
+            "engine_batch_vs_reference": bench_engine(quick),
+            "campaign_end_to_end": bench_campaign(quick),
+            "profile_cache": bench_profile_cache(quick),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI-smoke configuration instead of the headline one",
+    )
+    parser.add_argument(
+        "--output", default=str(DEFAULT_OUTPUT),
+        help=f"artifact path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    artifact = run_all(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, case in artifact["cases"].items():
+        summary = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in case.items()
+        )
+        print(f"{name}: {summary}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_perf_engine_quick(emit, tmp_path):
+    """Tier-2 wrapper: the quick configuration must still clear a
+    conservative floor of the >= 10x acceptance target."""
+    artifact = run_all(quick=True)
+    out = tmp_path / "BENCH_engine.json"
+    out.write_text(json.dumps(artifact, indent=2))
+    engine = artifact["cases"]["engine_batch_vs_reference"]
+    emit(
+        f"engine batch speedup (quick): {engine['speedup']:.1f}x "
+        f"(reference {engine['reference_s']:.3f}s, "
+        f"batch {engine['batch_s']:.4f}s)"
+    )
+    assert engine["speedup"] >= 5.0
+    cache = artifact["cases"]["profile_cache"]
+    assert cache["disk_load_s"] < cache["benchmark_s"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

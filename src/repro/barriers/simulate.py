@@ -17,7 +17,7 @@ import numpy as np
 from repro.barriers.patterns import BarrierPattern
 from repro.cluster.topology import Placement
 from repro.machine.simmachine import SimMachine
-from repro.simmpi.engine import simulate_stages
+from repro.simmpi.engine import simulate_stages_batch
 from repro.util.validation import require_int
 
 
@@ -59,16 +59,18 @@ def measure_barrier(
         )
     truth = machine.comm_truth(placement)
     rng = machine.rng(stream, pattern.name, pattern.nprocs, runs)
-    worst = np.empty(runs)
-    for r in range(runs):
-        exits = simulate_stages(
-            truth,
-            pattern.stages,
-            payload_bytes=payload_bytes,
-            rng=rng,
-            noise=machine.noise,
-        )
-        worst[r] = exits.max() if exits.size else 0.0
+    # All runs execute as one (runs, P) replication batch; the engine's
+    # replication-major draw order replaces the old per-run loop's
+    # interleaved scalar draws (docs/engine.md).
+    exits = simulate_stages_batch(
+        truth,
+        pattern.stages,
+        runs=runs,
+        payload_bytes=payload_bytes,
+        rng=rng,
+        noise=machine.noise,
+    )
+    worst = exits.max(axis=1) if exits.shape[1] else np.zeros(runs)
     return BarrierTiming(
         pattern_name=pattern.name,
         nprocs=pattern.nprocs,

@@ -31,6 +31,8 @@ from repro.util.validation import require_int
 
 DEFAULT_SIZES = tuple(2**k for k in range(0, 21))  # 1 B .. 1 MiB (§5.6.4)
 DEFAULT_REQUEST_COUNTS = tuple(range(1, 9))
+DEFAULT_STREAM = "comm-bench"
+DEFAULT_INTERCEPT_MAX_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -46,10 +48,14 @@ class CommBenchReport:
 
 
 def _median_of_noisy(machine: SimMachine, rng, clean: np.ndarray, samples: int):
-    """Median over ``samples`` noisy observations of each clean duration."""
-    draws = machine.noise.sample(
-        rng, np.broadcast_to(clean, (samples, *clean.shape)).copy()
-    )
+    """Median over ``samples`` noisy observations of each clean duration.
+
+    ``clean`` may carry leading sweep axes (e.g. one slice per request
+    count or message size): the whole sweep is observed with a single bulk
+    draw — ``samples`` is inserted as the leading axis, so draws fill
+    replication-major, sweep-slice next — and reduced along it.
+    """
+    draws = machine.noise.sample_matrix(rng, clean, samples)
     return np.median(draws, axis=0)
 
 
@@ -59,8 +65,8 @@ def benchmark_comm(
     samples: int = 25,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     request_counts: tuple[int, ...] = DEFAULT_REQUEST_COUNTS,
-    stream: str = "comm-bench",
-    intercept_max_size: int = 4096,
+    stream: str = DEFAULT_STREAM,
+    intercept_max_size: int = DEFAULT_INTERCEPT_MAX_SIZE,
 ) -> CommBenchReport:
     """Measure the full P x P parameter set for one placement.
 
@@ -96,12 +102,12 @@ def benchmark_comm(
     remote = (nodes[:, None] != nodes[None, :]).astype(float)
     per_request = truth.start_overhead + remote * truth.nic_gap
     counts = np.asarray(request_counts, dtype=float)
-    count_medians = np.empty((len(request_counts), p, p))
-    for idx, c in enumerate(request_counts):
-        clean = truth.invocation_overhead + truth.start_overhead + (
-            c - 1.0
-        ) * per_request
-        count_medians[idx] = _median_of_noisy(machine, rng, clean, samples)
+    clean_counts = (
+        truth.invocation_overhead
+        + truth.start_overhead
+        + (counts[:, None, None] - 1.0) * per_request
+    )
+    count_medians = _median_of_noisy(machine, rng, clean_counts, samples)
     grads, _ = batched_regression(
         counts, np.moveaxis(count_medians, 0, -1).reshape(p * p, -1)
     )
@@ -110,16 +116,14 @@ def benchmark_comm(
 
     # --- L_ij / B_ij: size sweep of one-way transmissions ---------------
     size_arr = np.asarray(sizes, dtype=float)
-    size_medians = np.empty((len(sizes), p, p))
     one_way_const = (
         truth.invocation_overhead
         + truth.start_overhead
         + truth.latency
         + truth.recv_overhead
     )
-    for idx, m in enumerate(sizes):
-        clean = one_way_const + m * truth.inv_bandwidth
-        size_medians[idx] = _median_of_noisy(machine, rng, clean, samples)
+    clean_sizes = one_way_const + size_arr[:, None, None] * truth.inv_bandwidth
+    size_medians = _median_of_noisy(machine, rng, clean_sizes, samples)
     betas, _ = batched_regression(
         size_arr, np.moveaxis(size_medians, 0, -1).reshape(p * p, -1)
     )

@@ -340,10 +340,16 @@ class BSPRuntime:
 
     # ----------------------------------------------------------- transfers
 
-    def _noisy_duration(self, base: float) -> float:
-        if self._noise is None:
+    def _noisy_transits(self, base: np.ndarray) -> np.ndarray:
+        """Bulk-perturb a vector of wire transits in schedule order.
+
+        One vector draw per scheduling pass replaces the deprecated
+        per-transfer ``sample_scalar`` round trips; draws fill in the
+        deterministic ship-call order of each pass.
+        """
+        if self._noise is None or base.size == 0:
             return base
-        return self._noise.sample_scalar(self._sync_rng, base)
+        return self._noise.sample(self._sync_rng, base)
 
     def _schedule_transfers(self, entries: np.ndarray):
         truth = self.truth
@@ -353,12 +359,13 @@ class BSPRuntime:
         messages = 0
         payload_total = 0
 
-        def ship(src: int, dst: int, nbytes: int, ready: float) -> float:
-            """Schedule one transfer; returns its arrival time."""
+        def ship(src: int, dst: int, nbytes: int, ready: float,
+                 transit: float) -> float:
+            """Schedule one transfer (pre-drawn noisy ``transit``);
+            returns its arrival time."""
             nonlocal messages, payload_total
             messages += 1
             payload_total += nbytes
-            transit = truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
             if nodes[src] != nodes[dst]:
                 free = tx_free.get(nodes[src], 0.0)
                 wire_entry = max(ready, free)
@@ -369,7 +376,12 @@ class BSPRuntime:
                 )
             else:
                 wire_entry = ready
-            return wire_entry + self._noisy_duration(transit) + truth.recv_overhead
+            return wire_entry + transit + truth.recv_overhead
+
+        def clean_transit(src: int, dst: int, nbytes: int) -> float:
+            return float(
+                truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
+            )
 
         # Pass 1: puts, hpputs, sends, and get request headers, in global
         # deterministic commit order.
@@ -391,41 +403,46 @@ class BSPRuntime:
                      "get", rec)
                 )
         outbound.sort(key=lambda item: (item[0], item[1], item[2]))
+        # Each pass builds one plan of (src, dst, nbytes, ready, rec)
+        # transfers; the bulk noise vector and the ship() calls both
+        # derive from it, so endpoint/size logic exists exactly once.
+        pass1 = [
+            (rec.requester_pid, rec.target_pid, HEADER_BYTES, ready, rec)
+            if kind == "get"
+            else (rec.header.source_pid, rec.dest_pid,
+                  rec.nbytes + HEADER_BYTES, ready, rec)
+            for ready, _src, _seq, kind, rec in outbound
+        ]
+        transits1 = self._noisy_transits(np.array([
+            clean_transit(src, dst, nbytes)
+            for src, dst, nbytes, _ready, _rec in pass1
+        ]))
 
         get_requests: list[tuple[float, GetRecord]] = []
-        for ready, _src, _seq, kind, rec in outbound:
-            if kind == "put":
-                arrival = ship(
-                    rec.header.source_pid, rec.dest_pid,
-                    rec.nbytes + HEADER_BYTES, ready,
-                )
-                last_arrival[rec.dest_pid] = max(last_arrival[rec.dest_pid], arrival)
-            elif kind == "send":
-                arrival = ship(
-                    rec.header.source_pid, rec.dest_pid,
-                    rec.nbytes + HEADER_BYTES, ready,
-                )
-                last_arrival[rec.dest_pid] = max(last_arrival[rec.dest_pid], arrival)
-            else:  # get request header
-                arrival = ship(
-                    rec.requester_pid, rec.target_pid, HEADER_BYTES, ready
-                )
+        for (src, dst, nbytes, ready, rec), transit in zip(pass1, transits1):
+            arrival = ship(src, dst, nbytes, ready, transit)
+            if isinstance(rec, GetRecord):  # request header: reply follows
                 get_requests.append((arrival, rec))
+            else:
+                last_arrival[dst] = max(last_arrival[dst], arrival)
 
         # Pass 2: get replies leave once the owner has both received the
         # request and finished its superstep computation (§6.2: the value
         # transferred is the one at the end of the step).
-        for request_arrival, rec in sorted(
-            get_requests, key=lambda item: (item[0], item[1].requester_pid)
-        ):
-            ready = max(request_arrival, entries[rec.target_pid])
-            arrival = ship(
-                rec.target_pid, rec.requester_pid,
-                rec.nbytes + HEADER_BYTES, ready,
+        pass2 = [
+            (rec.target_pid, rec.requester_pid, rec.nbytes + HEADER_BYTES,
+             max(request_arrival, entries[rec.target_pid]), rec)
+            for request_arrival, rec in sorted(
+                get_requests, key=lambda item: (item[0], item[1].requester_pid)
             )
-            last_arrival[rec.requester_pid] = max(
-                last_arrival[rec.requester_pid], arrival
-            )
+        ]
+        transits2 = self._noisy_transits(np.array([
+            clean_transit(src, dst, nbytes)
+            for src, dst, nbytes, _ready, _rec in pass2
+        ]))
+        for (src, dst, nbytes, ready, _rec), transit in zip(pass2, transits2):
+            arrival = ship(src, dst, nbytes, ready, transit)
+            last_arrival[dst] = max(last_arrival[dst], arrival)
         return last_arrival, messages, payload_total
 
     # ------------------------------------------------------- data movement

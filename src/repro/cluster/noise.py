@@ -57,7 +57,34 @@ class NoiseModel:
                 out = out + np.where(hits, spikes * base, 0.0)
         return np.maximum(out, self.floor)
 
+    def sample_matrix(
+        self, rng: np.random.Generator, base, runs: int
+    ) -> np.ndarray:
+        """``runs`` independent perturbations of ``base`` in one bulk draw.
+
+        ``base`` (scalar or any array shape ``S``) is broadcast to
+        ``(runs, *S)`` and sampled with a single :meth:`sample` call, so
+        the draws fill the replication axis in C order (replication-major)
+        — the draw-order contract of the batched event engine
+        (:mod:`repro.simmpi.engine`).  This is the entry point hot paths
+        should use; one matrix draw replaces ``runs * base.size`` scalar
+        round trips through 0-d arrays.
+        """
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        base = np.asarray(base, dtype=float)
+        return self.sample(rng, np.broadcast_to(base, (runs, *base.shape)))
+
     def sample_scalar(self, rng: np.random.Generator, base: float) -> float:
+        """Perturb one scalar duration.
+
+        .. deprecated::
+            Hot paths (the event engine, benchmarks, charge models) must
+            not call this per value — it boxes every duration through a
+            0-d array and three scalar RNG calls.  Use :meth:`sample` on a
+            whole vector or :meth:`sample_matrix` for a replication batch;
+            this remains only for genuinely scalar one-off draws.
+        """
         return float(self.sample(rng, np.asarray(base, dtype=float)))
 
 

@@ -256,6 +256,23 @@ class Campaign:
         proposals — so adaptive and exhaustive campaigns populate and
         re-use the *same* JSONL store entries.
         """
+        # Persist memoized comm profiles alongside the result store so
+        # every campaign (and executor worker — via fork inheritance or
+        # the exported env var under spawn) sharing this store also shares
+        # benchmark profiles.  Rebinding per batch keeps the singleton
+        # pointed at the *active* campaign's store when several stores are
+        # used in one process, and a store-less campaign detaches it so
+        # profiles never land in a stale (possibly deleted) directory.
+        # Values are bit-identical with and without the cache, so executor
+        # equivalence is unaffected.
+        from repro.bench.profile_cache import PROFILE_CACHE, store_path_for
+
+        if self.store_dir is not None:
+            PROFILE_CACHE.configure(
+                store_path_for(self.store_dir), export_env=True
+            )
+        else:
+            PROFILE_CACHE.configure(None)
         points = list(points)
         keys = [record_key(self.experiment, p) for p in points]
 

@@ -253,6 +253,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         stale = Campaign.results_path(args.store_dir, spec.name)
         if os.path.exists(stale):
             os.remove(stale)
+        # Memoized comm profiles are also store state: drop them so the
+        # regenerated golden reflects the current benchmark protocol.
+        from repro.bench.profile_cache import PROFILE_CACHE, store_path_for
+
+        stale_profiles = store_path_for(args.store_dir)
+        if os.path.exists(stale_profiles):
+            os.remove(stale_profiles)
+        PROFILE_CACHE.clear_memory()
+        PROFILE_CACHE.configure(None)
     try:
         result = run_suite(
             spec,

@@ -1,6 +1,16 @@
-"""Discrete-event message-passing engine for stage-structured patterns."""
+"""Discrete-event message-passing engine for stage-structured patterns.
 
-from repro.simmpi.engine import simulate_stages, stage_payload_matrix, StageEventTrace
+The replication-batched engine lives in :mod:`repro.simmpi.engine`; the
+original scalar implementation is preserved as its behavioural oracle in
+:mod:`repro.simmpi.reference` (clean-path bit-identity is tested).
+"""
+
+from repro.simmpi.engine import (
+    StageEventTrace,
+    simulate_stages,
+    simulate_stages_batch,
+    stage_payload_matrix,
+)
 from repro.simmpi.requests import (
     PersistentBarrier,
     PersistentRequest,
@@ -9,6 +19,7 @@ from repro.simmpi.requests import (
 
 __all__ = [
     "simulate_stages",
+    "simulate_stages_batch",
     "stage_payload_matrix",
     "StageEventTrace",
     "PersistentBarrier",

@@ -21,8 +21,36 @@ Event semantics per message ``i -> j`` of ``size`` bytes:
 5.  *Acknowledgement*: the sender's request completes one latency after
     consumption — the round trip behind the model's ``2 * L`` term.
 
+Execution is *replication-batched*: :func:`simulate_stages_batch` runs all
+``R`` noisy replications of a stage pattern as ``(R, P)`` ndarray state in
+one pass.  Per replication the event semantics are exactly those of the
+scalar reference engine (:mod:`repro.simmpi.reference`): initiation
+cursors are per-sender cumulative sums, NIC FIFOs are per-node sequential
+scans over stably-sorted departures/arrivals, and Waitall exits are
+grouped maxima.  On the clean path (``rng=None`` or ``noise=None``) the
+two engines are bit-identical.
+
+RNG draw-order contract (noisy path)
+------------------------------------
 All stochastic terms flow through the machine's :class:`NoiseModel` via the
 caller-provided generator; passing ``rng=None`` yields clean event times.
+Noise is drawn in bulk per stage, in this fixed sequence of
+:meth:`NoiseModel.sample` calls:
+
+1. invocation overheads, shape ``(R, n_participants)`` with participants
+   in ascending rank order;
+2. start overheads, shape ``(R, M)``;
+3. wire transits, shape ``(R, M)``;
+4. receive overheads, shape ``(R, M)``;
+5. acknowledgement latencies, shape ``(R, M)``;
+
+where ``M`` is the stage's message count and messages are enumerated in
+fixed sender-major ``(source, destination)`` order.  Each matrix is filled
+in C order, i.e. **replication-major**: replication 0 takes the first row
+of draws, replication 1 the next, and so on.  This order is part of the
+engine's public contract — golden artifacts were regenerated when it
+replaced the reference engine's per-message interleaved draws (see
+``docs/engine.md``).
 """
 
 from __future__ import annotations
@@ -37,132 +65,17 @@ from repro.machine.simmachine import CommTruth
 
 @dataclass
 class StageEventTrace:
-    """Per-stage record kept when tracing is requested."""
+    """Per-stage record kept when tracing is requested.
+
+    ``entry`` holds the clocks *before* the stage ran and ``exit`` the
+    clocks after it; both are ``(P,)`` from :func:`simulate_stages` and
+    ``(R, P)`` from :func:`simulate_stages_batch`.
+    """
 
     stage: int
     entry: np.ndarray
     exit: np.ndarray
     messages: int
-
-
-def _noisy(noise: NoiseModel | None, rng, values: np.ndarray) -> np.ndarray:
-    if rng is None or noise is None:
-        return values
-    return noise.sample(rng, values)
-
-
-def simulate_stages(
-    truth: CommTruth,
-    stages,
-    payload_bytes=None,
-    rng: np.random.Generator | None = None,
-    noise: NoiseModel | None = None,
-    entry_times: np.ndarray | None = None,
-    trace: list[StageEventTrace] | None = None,
-) -> np.ndarray:
-    """Execute stage matrices over the ground truth; return exit times.
-
-    ``payload_bytes`` may be ``None`` (pure signals), a scalar, or a
-    per-stage sequence of scalars/matrices.  ``entry_times`` lets callers
-    model skewed arrival at the synchronisation point.
-    """
-    p = truth.nprocs
-    stages = list(stages)
-    nodes = np.array([truth.placement.node_of(r) for r in range(p)])
-    n_nodes = int(nodes.max()) + 1 if p else 0
-    remote = nodes[:, None] != nodes[None, :]
-
-    t = np.zeros(p) if entry_times is None else np.array(entry_times, dtype=float)
-    if t.shape != (p,):
-        raise ValueError(f"entry_times must have shape ({p},)")
-
-    for s_idx, stage in enumerate(stages):
-        stage = np.asarray(stage, dtype=bool)
-        if stage.shape != (p, p):
-            raise ValueError(f"stage {s_idx} has wrong shape {stage.shape}")
-        payload = stage_payload_matrix(payload_bytes, s_idx, p)
-
-        sends_of = [np.flatnonzero(stage[i]) for i in range(p)]
-        participants = stage.any(axis=1) | stage.any(axis=0)
-
-        # 1. Initiation: busy time and sequential departures per sender.
-        busy_end = t.copy()
-        departs: dict[tuple[int, int], float] = {}
-        for i in range(p):
-            if not participants[i]:
-                continue
-            cursor = t[i] + float(
-                _noisy(noise, rng, np.asarray(truth.invocation_overhead))
-            )
-            for j in sends_of[i]:
-                cursor += float(
-                    _noisy(noise, rng, np.asarray(truth.start_overhead[i, j]))
-                )
-                departs[(i, j)] = cursor
-            busy_end[i] = cursor
-
-        if not departs:
-            # A stage with receivers but no senders cannot occur in a valid
-            # pattern; a fully empty stage just costs nothing.
-            continue
-
-        msg_list = sorted(departs.items(), key=lambda kv: (kv[1], kv[0]))
-
-        # 2./3. NIC serialisation and wire transit.
-        tx_free = np.zeros(n_nodes)
-        arrivals: list[tuple[float, int, int]] = []
-        for (i, j), depart in msg_list:
-            if remote[i, j]:
-                wire_entry = max(depart, tx_free[nodes[i]])
-                tx_free[nodes[i]] = wire_entry + truth.nic_gap
-            else:
-                wire_entry = depart
-            transit = truth.latency[i, j] + payload[i, j] * truth.inv_bandwidth[i, j]
-            arrive = wire_entry + float(_noisy(noise, rng, np.asarray(transit)))
-            arrivals.append((arrive, i, j))
-
-        arrivals.sort()
-        rx_free = np.zeros(n_nodes)
-        recv_cursor = busy_end.copy()  # receiver consumes after own initiation
-        consumed_of = [[] for _ in range(p)]
-        acks_of = [[] for _ in range(p)]
-        for arrive, i, j in arrivals:
-            if remote[i, j]:
-                deliver = max(arrive, rx_free[nodes[j]])
-                rx_free[nodes[j]] = deliver + truth.nic_gap
-            else:
-                deliver = arrive
-            handle = max(deliver, recv_cursor[j]) + float(
-                _noisy(noise, rng, np.asarray(truth.recv_overhead))
-            )
-            recv_cursor[j] = handle
-            consumed_of[j].append(handle)
-            ack = handle + float(_noisy(noise, rng, np.asarray(truth.latency[i, j])))
-            acks_of[i].append(ack)
-
-        # 5. Stage exit: Waitall returns when sends are acked and receives
-        # consumed; non-participants pass through untouched.
-        new_t = t.copy()
-        for i in range(p):
-            if not participants[i]:
-                continue
-            exit_time = busy_end[i]
-            if acks_of[i]:
-                exit_time = max(exit_time, max(acks_of[i]))
-            if consumed_of[i]:
-                exit_time = max(exit_time, max(consumed_of[i]))
-            new_t[i] = exit_time
-        t = new_t
-        if trace is not None:
-            trace.append(
-                StageEventTrace(
-                    stage=s_idx,
-                    entry=t.copy(),
-                    exit=t.copy(),
-                    messages=len(msg_list),
-                )
-            )
-    return t
 
 
 def stage_payload_matrix(payload_bytes, stage_idx: int, p: int) -> np.ndarray:
@@ -184,3 +97,270 @@ def stage_payload_matrix(payload_bytes, stage_idx: int, p: int) -> np.ndarray:
     if spec.shape != (p, p):
         raise ValueError("per-stage payload matrix has wrong shape")
     return spec
+
+
+def _batch_entry_times(entry_times, runs: int, p: int) -> np.ndarray:
+    """Normalise ``entry_times`` to a fresh ``(runs, p)`` float matrix."""
+    if entry_times is None:
+        return np.zeros((runs, p))
+    t = np.array(entry_times, dtype=float)
+    if t.shape == (p,):
+        return np.broadcast_to(t, (runs, p)).copy()
+    if t.shape == (runs, p):
+        return t
+    raise ValueError(
+        f"entry_times must have shape ({p},) or ({runs}, {p}), got {t.shape}"
+    )
+
+
+def _draw(noise, rng, base, runs: int) -> np.ndarray:
+    """One bulk noise matrix: ``(runs, *base.shape)``, replication-major.
+
+    On the clean path the broadcast base values are returned as a
+    (read-only) view — no RNG state is consumed.
+    """
+    if rng is None or noise is None:
+        return np.broadcast_to(base, (runs, *np.shape(base)))
+    return noise.sample_matrix(rng, base, runs)
+
+
+def simulate_stages_batch(
+    truth: CommTruth,
+    stages,
+    runs: int = 1,
+    payload_bytes=None,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+    entry_times: np.ndarray | None = None,
+    trace: list[StageEventTrace] | None = None,
+) -> np.ndarray:
+    """Execute ``runs`` noisy replications of the stage pattern in one pass.
+
+    Returns the ``(runs, P)`` matrix of per-replication exit times.
+    ``entry_times`` may be ``(P,)`` (shared by every replication) or
+    ``(runs, P)``.  With ``rng=None`` (or ``noise=None``) every replication
+    is the identical clean execution, computed once and broadcast.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    p = truth.nprocs
+    clean = rng is None or noise is None
+
+    if clean and runs > 1 and (
+        entry_times is None or np.asarray(entry_times).ndim == 1
+    ):
+        # Clean replications are identical: compute one, broadcast all.
+        sub_trace: list[StageEventTrace] | None = (
+            [] if trace is not None else None
+        )
+        one = simulate_stages_batch(
+            truth, stages, runs=1, payload_bytes=payload_bytes,
+            entry_times=entry_times, trace=sub_trace,
+        )
+        if trace is not None:
+            trace.extend(
+                StageEventTrace(
+                    stage=rec.stage,
+                    entry=np.broadcast_to(rec.entry[0], (runs, p)).copy(),
+                    exit=np.broadcast_to(rec.exit[0], (runs, p)).copy(),
+                    messages=rec.messages,
+                )
+                for rec in sub_trace  # type: ignore[union-attr]
+            )
+        return np.broadcast_to(one[0], (runs, p)).copy()
+
+    stages = list(stages)
+    nodes = np.array(
+        [truth.placement.node_of(r) for r in range(p)], dtype=np.intp
+    )
+    n_nodes = int(nodes.max()) + 1 if p else 0
+    remote = nodes[:, None] != nodes[None, :]
+    rows = np.arange(runs)
+
+    t = _batch_entry_times(entry_times, runs, p)
+
+    for s_idx, stage in enumerate(stages):
+        stage = np.asarray(stage, dtype=bool)
+        if stage.shape != (p, p):
+            raise ValueError(f"stage {s_idx} has wrong shape {stage.shape}")
+        src, dst = np.nonzero(stage)  # sender-major fixed message order
+        n_msg = src.size
+        if n_msg == 0:
+            # A stage with receivers but no senders cannot occur in a valid
+            # pattern; a fully empty stage just costs nothing.
+            continue
+        payload = stage_payload_matrix(payload_bytes, s_idx, p)
+        stage_entry = t.copy()
+
+        participants = np.flatnonzero(stage.any(axis=1) | stage.any(axis=0))
+        senders = np.flatnonzero(stage.any(axis=1))
+        send_counts = stage.sum(axis=1)[senders]
+        offsets = np.concatenate(([0], np.cumsum(send_counts)))
+        sender_of_msg = np.repeat(np.arange(senders.size), send_counts)
+        within = np.arange(n_msg) - offsets[:-1][sender_of_msg]
+
+        # --- bulk noise (documented draw order; see module docstring) ----
+        inv_vals = _draw(
+            noise, rng, np.full(participants.size, truth.invocation_overhead),
+            runs,
+        )
+        start_vals = _draw(noise, rng, truth.start_overhead[src, dst], runs)
+        transit_vals = _draw(
+            noise, rng,
+            truth.latency[src, dst] + payload[src, dst]
+            * truth.inv_bandwidth[src, dst],
+            runs,
+        )
+        recv_vals = _draw(
+            noise, rng, np.full(n_msg, truth.recv_overhead), runs
+        )
+        ack_vals = _draw(noise, rng, truth.latency[src, dst], runs)
+
+        # 1. Initiation: departure cursors are per-sender cumulative sums
+        # seeded with entry + invocation overhead; padding with zeros keeps
+        # the prefix sums bit-identical to the reference scalar chain.
+        busy_end = t.copy()
+        after_inv = t[:, participants] + inv_vals
+        busy_end[:, participants] = after_inv
+        sender_pos = np.searchsorted(participants, senders)
+        pad = np.zeros((runs, senders.size, int(send_counts.max()) + 1))
+        pad[:, :, 0] = after_inv[:, sender_pos]
+        pad[:, sender_of_msg, within + 1] = start_vals
+        cursors = np.cumsum(pad, axis=2)
+        departs = cursors[:, sender_of_msg, within + 1]
+        busy_end[:, senders] = cursors[:, np.arange(senders.size), send_counts]
+
+        # 2./3. Transmit-NIC FIFO and wire transit: a per-node sequential
+        # scan over departures stably sorted per replication — the stable
+        # sort preserves the fixed (source, destination) tie order of the
+        # reference engine.
+        msg_remote = remote[src, dst]
+        src_nodes = nodes[src]
+        order = np.argsort(departs, axis=1, kind="stable")
+        dep_sorted = np.take_along_axis(departs, order, axis=1)
+        if msg_remote.any():
+            wire = np.empty((runs, n_msg))
+            tx_free = np.zeros((runs, n_nodes))
+            for k in range(n_msg):
+                m = order[:, k]
+                node = src_nodes[m]
+                rm = msg_remote[m]
+                d = dep_sorted[:, k]
+                prev = tx_free[rows, node]
+                we = np.where(rm, np.maximum(d, prev), d)
+                tx_free[rows, node] = np.where(rm, we + truth.nic_gap, prev)
+                wire[:, k] = we
+        else:
+            wire = dep_sorted
+        arrive_sorted = wire + np.take_along_axis(transit_vals, order, axis=1)
+        arrivals = np.empty((runs, n_msg))
+        np.put_along_axis(arrivals, order, arrive_sorted, axis=1)
+
+        # 4./5. Receive-NIC FIFO, consumption, acknowledgement: one scan in
+        # per-replication arrival order.
+        order2 = np.argsort(arrivals, axis=1, kind="stable")
+        arr2 = np.take_along_axis(arrivals, order2, axis=1)
+        recv2 = np.take_along_axis(recv_vals, order2, axis=1)
+        ack2 = np.take_along_axis(ack_vals, order2, axis=1)
+        dst_nodes = nodes[dst]
+        recv_cursor = busy_end.copy()
+        rx_free = np.zeros((runs, n_nodes))
+        handles_sorted = np.empty((runs, n_msg))
+        acks_sorted = np.empty((runs, n_msg))
+        any_remote = bool(msg_remote.any())
+        for k in range(n_msg):
+            m = order2[:, k]
+            a = arr2[:, k]
+            j = dst[m]
+            if any_remote:
+                node = dst_nodes[m]
+                rm = msg_remote[m]
+                prev = rx_free[rows, node]
+                deliver = np.where(rm, np.maximum(a, prev), a)
+                rx_free[rows, node] = np.where(
+                    rm, deliver + truth.nic_gap, prev
+                )
+            else:
+                deliver = a
+            handle = np.maximum(deliver, recv_cursor[rows, j]) + recv2[:, k]
+            recv_cursor[rows, j] = handle
+            handles_sorted[:, k] = handle
+            acks_sorted[:, k] = handle + ack2[:, k]
+        handles = np.empty((runs, n_msg))
+        np.put_along_axis(handles, order2, handles_sorted, axis=1)
+        acks = np.empty((runs, n_msg))
+        np.put_along_axis(acks, order2, acks_sorted, axis=1)
+
+        # Stage exit: Waitall returns when sends are acked and receives
+        # consumed — grouped maxima over the fixed message order;
+        # non-participants pass through untouched.
+        new_t = t.copy()
+        new_t[:, participants] = busy_end[:, participants]
+        ack_max = np.maximum.reduceat(acks, offsets[:-1], axis=1)
+        new_t[:, senders] = np.maximum(new_t[:, senders], ack_max)
+        recv_perm = np.lexsort((src, dst))  # group messages by receiver
+        receivers, recv_counts = np.unique(dst, return_counts=True)
+        recv_offsets = np.concatenate(([0], np.cumsum(recv_counts)[:-1]))
+        cons_max = np.maximum.reduceat(
+            handles[:, recv_perm], recv_offsets, axis=1
+        )
+        new_t[:, receivers] = np.maximum(new_t[:, receivers], cons_max)
+        t = new_t
+        if trace is not None:
+            trace.append(
+                StageEventTrace(
+                    stage=s_idx,
+                    entry=stage_entry,
+                    exit=t.copy(),
+                    messages=n_msg,
+                )
+            )
+    return t
+
+
+def simulate_stages(
+    truth: CommTruth,
+    stages,
+    payload_bytes=None,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+    entry_times: np.ndarray | None = None,
+    trace: list[StageEventTrace] | None = None,
+) -> np.ndarray:
+    """Execute stage matrices over the ground truth; return exit times.
+
+    ``payload_bytes`` may be ``None`` (pure signals), a scalar, or a
+    per-stage sequence of scalars/matrices.  ``entry_times`` lets callers
+    model skewed arrival at the synchronisation point.
+
+    This is the single-replication view of :func:`simulate_stages_batch`;
+    callers measuring many noisy runs should pass ``runs=R`` there instead
+    of looping here.
+    """
+    p = truth.nprocs
+    if entry_times is not None and np.shape(entry_times) != (p,):
+        raise ValueError(f"entry_times must have shape ({p},)")
+    batch_trace: list[StageEventTrace] | None = (
+        [] if trace is not None else None
+    )
+    exits = simulate_stages_batch(
+        truth,
+        stages,
+        runs=1,
+        payload_bytes=payload_bytes,
+        rng=rng,
+        noise=noise,
+        entry_times=entry_times,
+        trace=batch_trace,
+    )
+    if trace is not None:
+        trace.extend(
+            StageEventTrace(
+                stage=rec.stage,
+                entry=rec.entry[0],
+                exit=rec.exit[0],
+                messages=rec.messages,
+            )
+            for rec in batch_trace  # type: ignore[union-attr]
+        )
+    return exits[0]

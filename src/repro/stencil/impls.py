@@ -210,17 +210,16 @@ def _exchange_stages(blocks: list[LocalBlock]) -> tuple[list, list]:
 
 
 def _charge_compute(machine, placement, cells, footprints, rng):
-    """Per-rank noisy compute time for a cell-count vector."""
-    out = np.empty(placement.nprocs)
-    for rank in range(placement.nprocs):
-        out[rank] = machine.kernel_time(
-            placement.core_of(rank),
-            STENCIL5,
-            int(cells[rank]),
-            rng=rng,
-            footprint_bytes=footprints[rank],
-        )
-    return out
+    """Per-rank noisy compute time for a cell-count vector.
+
+    All ranks are priced with one bulk noise draw (replication of the
+    batched engine's draw-order discipline) instead of one scalar draw
+    per rank.
+    """
+    cores = [placement.core_of(rank) for rank in range(placement.nprocs)]
+    return machine.kernel_time_batch(
+        cores, STENCIL5, cells, rng=rng, footprint_bytes=footprints
+    )
 
 
 def _run_mpi_family(

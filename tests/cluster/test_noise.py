@@ -62,3 +62,36 @@ def test_samples_always_positive(sigma, base, seed):
     rng = np.random.default_rng(seed)
     out = model.sample(rng, np.full(16, base))
     assert np.all(out > 0)
+
+
+class TestSampleMatrix:
+    def test_shape_and_replication_major_order(self):
+        """sample_matrix(base, R) must equal one sample() call on the
+        (R, *base.shape) broadcast — the engine's draw-order contract."""
+        model = NoiseModel()
+        base = np.array([1e-6, 2e-6, 3e-6])
+        a = model.sample_matrix(np.random.default_rng(9), base, 5)
+        b = model.sample(
+            np.random.default_rng(9), np.broadcast_to(base, (5, 3)).copy()
+        )
+        assert a.shape == (5, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_base(self):
+        out = NoiseModel().sample_matrix(np.random.default_rng(1), 1e-6, 4)
+        assert out.shape == (4,)
+        assert (out > 0).all()
+
+    def test_nd_base(self):
+        base = np.full((2, 3), 1e-6)
+        out = NoiseModel().sample_matrix(np.random.default_rng(2), base, 7)
+        assert out.shape == (7, 2, 3)
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError, match="runs"):
+            NoiseModel().sample_matrix(np.random.default_rng(3), 1.0, 0)
+
+    def test_quiet_model_returns_base(self):
+        base = np.array([1e-6, 5e-4])
+        out = QUIET.sample_matrix(np.random.default_rng(4), base, 3)
+        np.testing.assert_array_equal(out, np.broadcast_to(base, (3, 2)))

@@ -99,3 +99,33 @@ class TestPlacementPolicies:
     def test_block_policy(self, machine):
         pl = machine.placement(10, policy="block")
         assert pl.cores.tolist() == list(range(10))
+
+
+class TestKernelTimeBatch:
+    def test_clean_matches_scalar_path(self, machine):
+        sizes = [256, 1024, 4096]
+        cores = [0, 1, 2]
+        batch = machine.kernel_time_batch(cores, DAXPY, sizes)
+        for k, (core, n) in enumerate(zip(cores, sizes)):
+            assert batch[k] == machine.kernel_time_clean(core, DAXPY, n)
+
+    def test_scalar_core_broadcast(self, machine):
+        batch = machine.kernel_time_batch(0, DAXPY, [128, 256])
+        assert batch.shape == (2,)
+        assert batch[1] > batch[0]
+
+    def test_noisy_reproducible_and_varies(self, machine):
+        a = machine.kernel_time_batch(
+            0, DAXPY, [1024] * 8, rng=machine.rng("ktb")
+        )
+        b = machine.kernel_time_batch(
+            0, DAXPY, [1024] * 8, rng=machine.rng("ktb")
+        )
+        np.testing.assert_array_equal(a, b)
+        assert np.unique(a).size > 1
+
+    def test_footprint_vector_validated(self, machine):
+        with pytest.raises(ValueError, match="footprint"):
+            machine.kernel_time_batch(
+                0, DAXPY, [128, 256], footprint_bytes=[1024.0]
+            )

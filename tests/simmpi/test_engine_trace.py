@@ -27,6 +27,46 @@ class TestTrace:
         for record in trace:
             assert record.exit.shape == (8,)
 
+    def test_entry_is_pre_stage_state(self):
+        """Regression: ``entry`` must capture the clocks *before* the stage
+        runs (the original engine recorded ``entry == exit``)."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            noise=QUIET, seed=173,
+        )
+        pattern = tree_barrier(8)
+        truth = machine.comm_truth(machine.placement(8))
+        trace: list[StageEventTrace] = []
+        exits = simulate_stages(truth, pattern.stages, trace=trace)
+        np.testing.assert_array_equal(trace[0].entry, np.zeros(8))
+        for record in trace:
+            # Every stage of a tree barrier moves some clock forward.
+            assert (record.exit >= record.entry).all()
+            assert record.exit.max() > record.entry.max()
+        for prev, nxt in zip(trace, trace[1:]):
+            np.testing.assert_array_equal(nxt.entry, prev.exit)
+        np.testing.assert_array_equal(trace[-1].exit, exits)
+
+    def test_batch_trace_shapes(self):
+        from repro.simmpi.engine import simulate_stages_batch
+
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
+            seed=174,
+        )
+        pattern = tree_barrier(8)
+        truth = machine.comm_truth(machine.placement(8))
+        trace: list[StageEventTrace] = []
+        exits = simulate_stages_batch(
+            truth, pattern.stages, runs=5,
+            rng=machine.rng("trace"), noise=machine.noise, trace=trace,
+        )
+        assert len(trace) == pattern.num_stages
+        for record in trace:
+            assert record.entry.shape == (5, 8)
+            assert record.exit.shape == (5, 8)
+        np.testing.assert_array_equal(trace[-1].exit, exits)
+
     def test_empty_stage_not_traced(self):
         machine = SimMachine(
             presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(),
