@@ -6,10 +6,10 @@ root — the repo's performance trajectory artifact::
     python benchmarks/bench_perf_engine.py            # full configuration
     python benchmarks/bench_perf_engine.py --quick    # CI perf-smoke sizing
 
-Schema of ``BENCH_engine.json`` (``repro-bench-engine/v1``)::
+Schema of ``BENCH_engine.json`` (``repro-bench-engine/v2``)::
 
     {
-      "schema": "repro-bench-engine/v1",
+      "schema": "repro-bench-engine/v2",
       "quick": bool,              # --quick sizing, not the headline config
       "unix_time": float,         # time.time() at write
       "cases": {
@@ -18,6 +18,19 @@ Schema of ``BENCH_engine.json`` (``repro-bench-engine/v1``)::
           "reference_s": float,   # best-of-repeats: runs x scalar engine
           "batch_s": float,       # best-of-repeats: one (runs, P) batch
           "speedup": float        # reference_s / batch_s  (target: >= 10)
+        },
+        "bsp_batch_vs_loop": {
+          "nprocs": int, "runs": int, "supersteps": int, "repeats": int,
+          "loop_s": float,        # runs x scalar bsp_run (§6.4 sync example)
+          "batch_s": float,       # one bsp_run(runs=R) replication batch
+          "speedup": float        # loop_s / batch_s  (target: >= 20)
+        },
+        "spinlock_batch_vs_loop": {
+          "algorithm": str, "nthreads": int, "runs": int,
+          "acquisitions": int, "repeats": int,
+          "loop_s": float,        # runs x scalar simulate_spinlock
+          "batch_s": float,       # one simulate_spinlock(runs=R)
+          "speedup": float        # loop_s / batch_s
         },
         "campaign_end_to_end": {
           "points": int, "cold_s": float, "warm_s": float,
@@ -34,10 +47,12 @@ Schema of ``BENCH_engine.json`` (``repro-bench-engine/v1``)::
     }
 
 All timings are wall-clock ``time.perf_counter`` seconds.  The headline
-acceptance number is ``engine_batch_vs_reference.speedup`` on the full
-configuration (dissemination, P=64, runs=256); ``--quick`` shrinks every
-case so a CI smoke step finishes in seconds.  The tier-2 pytest wrapper
-below runs the quick configuration and asserts a conservative floor.
+acceptance numbers are ``engine_batch_vs_reference.speedup`` (>= 10,
+dissemination, P=64, runs=256) and ``bsp_batch_vs_loop.speedup`` (>= 20,
+the §6.4 dissemination-sync example at P=16, runs=256) on the full
+configuration; ``--quick`` shrinks every case so a CI smoke step finishes
+in seconds.  The tier-2 pytest wrapper below runs the quick configuration
+and asserts conservative floors.
 """
 
 from __future__ import annotations
@@ -96,6 +111,92 @@ def bench_engine(quick: bool) -> dict:
         "reference_s": reference_s,
         "batch_s": batch_s,
         "speedup": reference_s / batch_s,
+    }
+
+
+def bench_bsp(quick: bool) -> dict:
+    """runs x scalar bsp_run vs one replication-batched bsp_run.
+
+    The workload is the §6.4 dissemination-sync example: every superstep
+    charges compute and puts a payload window to its neighbour, so each
+    sync resolves real transfers plus the payload-carrying dissemination
+    barrier.
+    """
+    import numpy as np
+
+    from repro.bsplib import bsp_run
+    from repro.cluster.presets import make_preset_machine
+    from repro.kernels import DAXPY
+
+    nprocs, runs, repeats = (8, 32, 2) if quick else (16, 256, 3)
+    supersteps = 3
+    machine = make_preset_machine("xeon-8x2x4")
+
+    def program(ctx):
+        p, pid = ctx.nprocs, ctx.pid
+        window = np.zeros(64 * p)
+        ctx.push_reg(window)
+        ctx.sync()
+        src = np.ones(64)
+        for _ in range(supersteps):
+            ctx.charge_kernel(DAXPY, 2048, reps=4)
+            ctx.put((pid + 1) % p, src, window, offset=64 * pid)
+            ctx.sync()
+
+    def run_loop():
+        for r in range(runs):
+            bsp_run(machine, nprocs, program, label=f"bench-bsp-{r}")
+
+    def run_batch():
+        bsp_run(machine, nprocs, program, label="bench-bsp", runs=runs)
+
+    loop_s = _best_of(repeats, run_loop)
+    batch_s = _best_of(repeats, run_batch)
+    return {
+        "nprocs": nprocs,
+        "runs": runs,
+        "supersteps": supersteps,
+        "repeats": repeats,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "speedup": loop_s / batch_s,
+    }
+
+
+def bench_spinlock(quick: bool) -> dict:
+    """runs x scalar spinlock contention runs vs one batched ensemble."""
+    from repro.cluster.presets import make_preset_machine
+    from repro.spinlocks import simulate_spinlock
+
+    nthreads, runs, repeats = (8, 64, 2) if quick else (16, 256, 3)
+    acquisitions = 16
+    machine = make_preset_machine("xeon-8x2x4")
+    placement = machine.placement(nthreads, policy="block")
+
+    def run_loop():
+        for _ in range(runs):
+            simulate_spinlock(
+                machine, "test_and_set", placement,
+                acquisitions_per_thread=acquisitions,
+            )
+
+    def run_batch():
+        simulate_spinlock(
+            machine, "test_and_set", placement,
+            acquisitions_per_thread=acquisitions, runs=runs,
+        )
+
+    loop_s = _best_of(repeats, run_loop)
+    batch_s = _best_of(repeats, run_batch)
+    return {
+        "algorithm": "test_and_set",
+        "nthreads": nthreads,
+        "runs": runs,
+        "acquisitions": acquisitions,
+        "repeats": repeats,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "speedup": loop_s / batch_s,
     }
 
 
@@ -180,11 +281,13 @@ def bench_profile_cache(quick: bool) -> dict:
 
 def run_all(quick: bool) -> dict:
     return {
-        "schema": "repro-bench-engine/v1",
+        "schema": "repro-bench-engine/v2",
         "quick": quick,
         "unix_time": time.time(),
         "cases": {
             "engine_batch_vs_reference": bench_engine(quick),
+            "bsp_batch_vs_loop": bench_bsp(quick),
+            "spinlock_batch_vs_loop": bench_spinlock(quick),
             "campaign_end_to_end": bench_campaign(quick),
             "profile_cache": bench_profile_cache(quick),
         },
@@ -217,8 +320,9 @@ def main(argv=None) -> int:
 
 
 def test_perf_engine_quick(emit, tmp_path):
-    """Tier-2 wrapper: the quick configuration must still clear a
-    conservative floor of the >= 10x acceptance target."""
+    """Tier-2 wrapper: the quick configuration must still clear
+    conservative floors of the full-configuration acceptance targets
+    (>= 10x engine, >= 20x BSP runs axis)."""
     artifact = run_all(quick=True)
     out = tmp_path / "BENCH_engine.json"
     out.write_text(json.dumps(artifact, indent=2))
@@ -229,6 +333,15 @@ def test_perf_engine_quick(emit, tmp_path):
         f"batch {engine['batch_s']:.4f}s)"
     )
     assert engine["speedup"] >= 5.0
+    bsp = artifact["cases"]["bsp_batch_vs_loop"]
+    emit(
+        f"bsp runs-axis speedup (quick): {bsp['speedup']:.1f}x "
+        f"(loop {bsp['loop_s']:.3f}s, batch {bsp['batch_s']:.4f}s)"
+    )
+    assert bsp["speedup"] >= 5.0
+    spin = artifact["cases"]["spinlock_batch_vs_loop"]
+    emit(f"spinlock runs-axis speedup (quick): {spin['speedup']:.1f}x")
+    assert spin["speedup"] >= 3.0
     cache = artifact["cases"]["profile_cache"]
     assert cache["disk_load_s"] < cache["benchmark_s"]
 

@@ -19,7 +19,15 @@ from repro.machine.simmachine import SimMachine
 
 @dataclass(frozen=True)
 class AdaptEvaluation:
-    """Adapted-vs-default outcome for one (machine, nprocs) point."""
+    """Adapted-vs-default outcome for one (machine, nprocs) point.
+
+    The three ``ensemble_*``/``choice_stability`` fields are populated
+    when the evaluation was asked for a parameter-stability ensemble
+    (``comm_runs=R``): ``R`` independent §5.6.3 profiles are extracted in
+    one bulk draw (:func:`repro.bench.comm_bench.benchmark_comm_ensemble`)
+    and the adapted pattern is re-predicted — and the greedy construction
+    re-run — under every member.
+    """
 
     nprocs: int
     pattern_name: str
@@ -31,6 +39,10 @@ class AdaptEvaluation:
     best_default_name: str
     best_default_predicted: float
     best_default_measured: float
+    ensemble_runs: int | None = None
+    ensemble_predicted_mean: float | None = None
+    ensemble_predicted_spread: float | None = None  # (max-min)/mean
+    choice_stability: float | None = None  # fraction agreeing with pattern
 
     @property
     def measured_speedup(self) -> float:
@@ -47,8 +59,17 @@ def evaluate_adaptation(
     gap_ratio: float = 2.0,
     comm_samples: int = 5,
     comm_sizes: tuple[int, ...] = FAST_COMM_SIZES,
+    comm_runs: int | None = None,
 ) -> AdaptEvaluation:
-    """Run the full adaptation pipeline and verify it with measured time."""
+    """Run the full adaptation pipeline and verify it with measured time.
+
+    ``comm_runs=R`` additionally extracts an ``R``-member benchmark
+    ensemble in one bulk draw and reports how stable the prediction and
+    the greedy choice are across it — the "is the extraction converged?"
+    question a single profile cannot answer.
+    """
+    if comm_runs is not None and comm_runs < 1:
+        raise ValueError("comm_runs must be >= 1")
     placement = machine.placement(nprocs)
     params = profile_placement(
         machine, placement, comm_samples=comm_samples, comm_sizes=comm_sizes
@@ -64,6 +85,35 @@ def evaluate_adaptation(
     default_timing = measure_barrier(
         machine, default_pattern, placement, runs=runs
     )
+    ensemble_runs = None
+    ensemble_mean = None
+    ensemble_spread = None
+    choice_stability = None
+    if comm_runs is not None:
+        from repro.barriers.cost_model import predict_barrier_cost
+        from repro.bench.comm_bench import benchmark_comm_ensemble
+
+        members = benchmark_comm_ensemble(
+            machine, placement, samples=comm_samples, sizes=comm_sizes,
+            runs=comm_runs,
+        )
+        predictions = [
+            predict_barrier_cost(adapted.pattern, member.params)
+            for member in members
+        ]
+        choices = [
+            greedy_adapt(member.params, gap_ratio=gap_ratio).pattern.name
+            for member in members
+        ]
+        mean = sum(predictions) / len(predictions)
+        ensemble_runs = comm_runs
+        ensemble_mean = mean
+        ensemble_spread = (
+            (max(predictions) - min(predictions)) / mean if mean else 0.0
+        )
+        choice_stability = (
+            sum(1 for c in choices if c == adapted.pattern.name) / len(choices)
+        )
     return AdaptEvaluation(
         nprocs=nprocs,
         pattern_name=adapted.pattern.name,
@@ -75,4 +125,8 @@ def evaluate_adaptation(
         best_default_name=best_default,
         best_default_predicted=adapted.default_predictions[best_default],
         best_default_measured=default_timing.mean_worst,
+        ensemble_runs=ensemble_runs,
+        ensemble_predicted_mean=ensemble_mean,
+        ensemble_predicted_spread=ensemble_spread,
+        choice_stability=choice_stability,
     )

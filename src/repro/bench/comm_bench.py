@@ -47,16 +47,124 @@ class CommBenchReport:
     invocation_overheads: np.ndarray  # per-process O_i medians
 
 
-def _median_of_noisy(machine: SimMachine, rng, clean: np.ndarray, samples: int):
-    """Median over ``samples`` noisy observations of each clean duration.
+def _ensemble_medians(
+    machine: SimMachine, rng, clean: np.ndarray, samples: int, runs: int
+):
+    """Per-run medians over ``samples`` noisy observations of each clean
+    duration, for ``runs`` independent replications in one bulk draw.
 
     ``clean`` may carry leading sweep axes (e.g. one slice per request
-    count or message size): the whole sweep is observed with a single bulk
-    draw — ``samples`` is inserted as the leading axis, so draws fill
-    replication-major, sweep-slice next — and reduced along it.
+    count or message size): the whole replication ensemble is observed
+    with a single draw of ``runs * samples`` leading replications —
+    draws fill replication-major, sweep-slice next, so ``runs=1``
+    consumes the stream exactly as the un-replicated benchmark always
+    has — and reduced over the sample axis to ``(runs, *clean.shape)``.
     """
-    draws = machine.noise.sample_matrix(rng, clean, samples)
-    return np.median(draws, axis=0)
+    draws = machine.noise.sample_matrix(rng, clean, runs * samples)
+    return np.median(draws.reshape(runs, samples, *np.shape(clean)), axis=1)
+
+
+def benchmark_comm_ensemble(
+    machine: SimMachine,
+    placement: Placement,
+    samples: int = 25,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    request_counts: tuple[int, ...] = DEFAULT_REQUEST_COUNTS,
+    stream: str = DEFAULT_STREAM,
+    intercept_max_size: int = DEFAULT_INTERCEPT_MAX_SIZE,
+    runs: int = 1,
+) -> list[CommBenchReport]:
+    """``runs`` independent P x P parameter extractions in one bulk pass.
+
+    The replication dimension of the benchmark: every noisy observation
+    matrix is drawn once with a ``runs``-major leading axis and each
+    replication's medians/regressions are reduced by one vectorised
+    solve, so a whole parameter ensemble — the cheap large ensembles
+    stable analytic extraction wants — costs barely more than a single
+    report.  ``runs=1`` is bit-identical to the historical single-report
+    benchmark (same stream consumption, same estimators), which is what
+    :func:`benchmark_comm` returns.
+    """
+    samples = require_int(samples, "samples")
+    if samples < 3:
+        raise ValueError("samples must be >= 3 for a stable median")
+    if len(sizes) < 2 or len(request_counts) < 2:
+        raise ValueError("need at least two sizes and two request counts")
+    runs = require_int(runs, "runs")
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+
+    truth = machine.comm_truth(placement)
+    p = placement.nprocs
+    rng = machine.rng(stream, p)
+    diag = np.arange(p)
+
+    # --- O_i: empty Startall calls --------------------------------------
+    clean_invocation = np.full(p, truth.invocation_overhead)
+    o_self = _ensemble_medians(machine, rng, clean_invocation, samples, runs)
+
+    # --- O_ij: gradient over simultaneous request counts ----------------
+    # The timed quantity is a Startall of c minimal requests: each extra
+    # request adds its start overhead plus, for remote pairs, one NIC
+    # serialisation slot — so the extracted gradient absorbs the stack's
+    # per-message injection cost exactly as a real benchmark would.
+    nodes = np.array([placement.node_of(r) for r in range(p)])
+    remote = (nodes[:, None] != nodes[None, :]).astype(float)
+    per_request = truth.start_overhead + remote * truth.nic_gap
+    counts = np.asarray(request_counts, dtype=float)
+    clean_counts = (
+        truth.invocation_overhead
+        + truth.start_overhead
+        + (counts[:, None, None] - 1.0) * per_request
+    )
+    count_medians = _ensemble_medians(machine, rng, clean_counts, samples, runs)
+    grads, _ = batched_regression(
+        counts, np.moveaxis(count_medians, 1, -1).reshape(runs * p * p, -1)
+    )
+    overhead = grads.reshape(runs, p, p)
+    overhead[:, diag, diag] = o_self
+
+    # --- L_ij / B_ij: size sweep of one-way transmissions ---------------
+    size_arr = np.asarray(sizes, dtype=float)
+    one_way_const = (
+        truth.invocation_overhead
+        + truth.start_overhead
+        + truth.latency
+        + truth.recv_overhead
+    )
+    clean_sizes = one_way_const + size_arr[:, None, None] * truth.inv_bandwidth
+    size_medians = _ensemble_medians(machine, rng, clean_sizes, samples, runs)
+    betas, _ = batched_regression(
+        size_arr, np.moveaxis(size_medians, 1, -1).reshape(runs * p * p, -1)
+    )
+    small = size_arr <= intercept_max_size
+    if small.sum() < 2:
+        small = np.zeros_like(size_arr, dtype=bool)
+        small[np.argsort(size_arr)[:2]] = True
+    _, intercepts = batched_regression(
+        size_arr[small],
+        np.moveaxis(size_medians[:, small], 1, -1).reshape(runs * p * p, -1),
+    )
+    latency = np.maximum(intercepts.reshape(runs, p, p), 0.0)
+    inv_bandwidth = np.maximum(betas.reshape(runs, p, p), 0.0)
+    latency[:, diag, diag] = 0.0
+    inv_bandwidth[:, diag, diag] = 0.0
+
+    return [
+        CommBenchReport(
+            params=CommParameters(
+                overhead=overhead[r],
+                latency=latency[r],
+                inv_bandwidth=inv_bandwidth[r],
+            ),
+            placement=placement,
+            samples=samples,
+            sizes=tuple(int(s) for s in sizes),
+            request_counts=tuple(int(c) for c in request_counts),
+            invocation_overheads=o_self[r],
+        )
+        for r in range(runs)
+    ]
 
 
 def benchmark_comm(
@@ -78,80 +186,19 @@ def benchmark_comm(
     microsecond-scale intercept; anchoring the intercept in the small-size
     regime is what keeps the estimate stable, which is exactly the
     stability-versus-protocol tuning the thesis describes in §5.6.4.)
+
+    The single-replication view of :func:`benchmark_comm_ensemble`.
     """
-    samples = require_int(samples, "samples")
-    if samples < 3:
-        raise ValueError("samples must be >= 3 for a stable median")
-    if len(sizes) < 2 or len(request_counts) < 2:
-        raise ValueError("need at least two sizes and two request counts")
-
-    truth = machine.comm_truth(placement)
-    p = placement.nprocs
-    rng = machine.rng(stream, p)
-
-    # --- O_i: empty Startall calls --------------------------------------
-    clean_invocation = np.full(p, truth.invocation_overhead)
-    o_self = _median_of_noisy(machine, rng, clean_invocation, samples)
-
-    # --- O_ij: gradient over simultaneous request counts ----------------
-    # The timed quantity is a Startall of c minimal requests: each extra
-    # request adds its start overhead plus, for remote pairs, one NIC
-    # serialisation slot — so the extracted gradient absorbs the stack's
-    # per-message injection cost exactly as a real benchmark would.
-    nodes = np.array([placement.node_of(r) for r in range(p)])
-    remote = (nodes[:, None] != nodes[None, :]).astype(float)
-    per_request = truth.start_overhead + remote * truth.nic_gap
-    counts = np.asarray(request_counts, dtype=float)
-    clean_counts = (
-        truth.invocation_overhead
-        + truth.start_overhead
-        + (counts[:, None, None] - 1.0) * per_request
-    )
-    count_medians = _median_of_noisy(machine, rng, clean_counts, samples)
-    grads, _ = batched_regression(
-        counts, np.moveaxis(count_medians, 0, -1).reshape(p * p, -1)
-    )
-    overhead = grads.reshape(p, p)
-    np.fill_diagonal(overhead, o_self)
-
-    # --- L_ij / B_ij: size sweep of one-way transmissions ---------------
-    size_arr = np.asarray(sizes, dtype=float)
-    one_way_const = (
-        truth.invocation_overhead
-        + truth.start_overhead
-        + truth.latency
-        + truth.recv_overhead
-    )
-    clean_sizes = one_way_const + size_arr[:, None, None] * truth.inv_bandwidth
-    size_medians = _median_of_noisy(machine, rng, clean_sizes, samples)
-    betas, _ = batched_regression(
-        size_arr, np.moveaxis(size_medians, 0, -1).reshape(p * p, -1)
-    )
-    small = size_arr <= intercept_max_size
-    if small.sum() < 2:
-        small = np.zeros_like(size_arr, dtype=bool)
-        small[np.argsort(size_arr)[:2]] = True
-    _, intercepts = batched_regression(
-        size_arr[small],
-        np.moveaxis(size_medians[small], 0, -1).reshape(p * p, -1),
-    )
-    latency = intercepts.reshape(p, p)
-    inv_bandwidth = np.maximum(betas.reshape(p, p), 0.0)
-    np.fill_diagonal(latency, 0.0)
-    np.fill_diagonal(inv_bandwidth, 0.0)
-    latency = np.maximum(latency, 0.0)
-
-    params = CommParameters(
-        overhead=overhead, latency=latency, inv_bandwidth=inv_bandwidth
-    )
-    return CommBenchReport(
-        params=params,
-        placement=placement,
+    return benchmark_comm_ensemble(
+        machine,
+        placement,
         samples=samples,
-        sizes=tuple(int(s) for s in sizes),
-        request_counts=tuple(int(c) for c in request_counts),
-        invocation_overheads=o_self,
-    )
+        sizes=sizes,
+        request_counts=request_counts,
+        stream=stream,
+        intercept_max_size=intercept_max_size,
+        runs=1,
+    )[0]
 
 
 def benchmark_comm_for_counts(

@@ -26,6 +26,35 @@ Thread scheduling (§6.3) is abstracted: the cooperative sched_yield dance
 of the real implementation appears here as a fixed per-operation software
 overhead (``op_overhead``), which is exactly the BSP-vs-MPI overhead the
 Chapter 8 experiments observe.
+
+Replication batching (``runs=R``)
+---------------------------------
+``bsp_run(..., runs=R)`` executes all ``R`` noisy replications of a
+program in one pass: the SPMD threads run *once* (data movement is
+noise-independent), while every virtual-time quantity — clocks, commit
+times, superstep records — carries a leading replication axis as
+``(R, ...)`` ndarray state.  This requires the program's control flow not
+to depend on ``ctx.time()`` (the only quantity that differs between
+replications); all bundled programs and experiments satisfy this.
+
+Noise is drawn in bulk under the engine's replication-major contract
+(``docs/engine.md``), per superstep in this fixed order:
+
+1. compute charges: each ``charge_kernel`` call draws ``(R,)`` from its
+   process's own compute stream at call time;
+2. pass-1 transfer transits: one ``(R, M1)`` matrix over the superstep's
+   puts/sends/get-request headers in canonical ``(pid, sequence)`` commit
+   order;
+3. pass-2 get-reply transits: one ``(R, M2)`` matrix in the same
+   canonical order of the requesting gets;
+4. the payload-carrying sync's stage draws, per the event-engine
+   contract.
+
+The scalar path (``runs=None``) is untouched and serves as the reference:
+on the clean path (``noisy=False``) every replication of a batched run is
+bit-identical to it (hypothesis-tested); noisy ensembles agree
+distributionally (KS-checked) while individual draws land in a different
+stream order.
 """
 
 from __future__ import annotations
@@ -50,17 +79,36 @@ from repro.bsplib.messages import (
 )
 from repro.bsplib.registration import RegistrationTable
 from repro.bsplib.sync_model import dissemination_payloads, sync_pattern
-from repro.machine.clock import VirtualClock
+from repro.machine.clock import BatchClock, VirtualClock
 from repro.machine.simmachine import CommTruth, SimMachine
-from repro.simmpi.engine import simulate_stages
+from repro.simmpi.engine import simulate_stages, simulate_stages_batch
 from repro.util.validation import require_int, require_nonnegative
 
 _COLLECTIVE_TIMEOUT = 120.0  # wall-clock guard against deadlocked programs
 
 
+def _transfer_endpoints(kind: str, rec) -> tuple[int, int, int]:
+    """Wire (source, destination, bytes) of one pass-1 outbound record —
+    get request headers travel requester -> owner; everything else carries
+    its payload plus a header.  Shared by the scalar and batched
+    schedulers so endpoint/size logic exists exactly once."""
+    if kind == "get":
+        return rec.requester_pid, rec.target_pid, HEADER_BYTES
+    return rec.header.source_pid, rec.dest_pid, rec.nbytes + HEADER_BYTES
+
+
+def _reply_endpoints(rec: GetRecord) -> tuple[int, int, int]:
+    """Wire (source, destination, bytes) of one pass-2 get reply."""
+    return rec.target_pid, rec.requester_pid, rec.nbytes + HEADER_BYTES
+
+
 @dataclass
 class SuperstepRecord:
-    """Virtual-time accounting of one superstep (the Ch. 8 measurables)."""
+    """Virtual-time accounting of one superstep (the Ch. 8 measurables).
+
+    Every time array is ``(P,)`` for a scalar run and ``(R, P)`` for a
+    replication-batched run (process axis last).
+    """
 
     index: int
     entry_times: np.ndarray  # compute-end per process [s]
@@ -85,7 +133,13 @@ class SuperstepRecord:
 
 @dataclass
 class BSPRunResult:
-    """Outcome of one SPMD execution."""
+    """Outcome of one SPMD execution.
+
+    ``final_times`` is ``(P,)`` for a scalar run and ``(R, P)`` for a
+    replication-batched one (``bsp_run(..., runs=R)``); ``return_values``
+    and the delivered data are identical across replications, since only
+    time is noisy.
+    """
 
     nprocs: int
     return_values: list
@@ -93,9 +147,22 @@ class BSPRunResult:
     final_times: np.ndarray
 
     @property
+    def runs(self) -> int | None:
+        """Replication count, or ``None`` for a scalar run."""
+        return None if self.final_times.ndim == 1 else int(
+            self.final_times.shape[0]
+        )
+
+    @property
+    def run_seconds(self) -> np.ndarray:
+        """Per-replication virtual wall times: ``(R,)`` (``(1,)`` scalar)."""
+        return np.atleast_2d(self.final_times).max(axis=1)
+
+    @property
     def total_seconds(self) -> float:
-        """Virtual wall time of the run."""
-        return float(self.final_times.max())
+        """Virtual wall time of the run (scalar), or the ensemble mean of
+        per-replication wall times (batched)."""
+        return float(self.run_seconds.mean())
 
     @property
     def superstep_count(self) -> int:
@@ -106,9 +173,9 @@ class _ProcessState:
     """Mutable per-process runtime state (touched by its own thread, and by
     the resolving thread while all others are blocked in the collective)."""
 
-    def __init__(self, pid: int, rng):
+    def __init__(self, pid: int, rng, runs: int | None = None):
         self.pid = pid
-        self.clock = VirtualClock()
+        self.clock = VirtualClock() if runs is None else BatchClock(runs)
         self.rng = rng
         self.regs = RegistrationTable()
         self.puts: list[PutRecord] = []
@@ -196,11 +263,17 @@ class BSPRuntime:
         op_overhead: float = 1.5e-6,
         label: str = "bsp-run",
         noisy: bool = True,
+        runs: int | None = None,
     ):
         self.machine = machine
         self.nprocs = require_int(nprocs, "nprocs")
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if runs is not None:
+            runs = require_int(runs, "runs")
+            if runs < 1:
+                raise ValueError("runs must be >= 1")
+        self.runs = runs
         self.placement = machine.placement(nprocs, policy=placement_policy)
         self.truth: CommTruth = machine.comm_truth(self.placement)
         self.op_overhead = require_nonnegative(op_overhead, "op_overhead")
@@ -209,7 +282,10 @@ class BSPRuntime:
         self._noise = machine.noise if noisy else None
         self._sync_rng = machine.rng("bsplib-sync", label, nprocs)
         self.states = [
-            _ProcessState(pid, machine.rng("bsplib-compute", label, nprocs, pid))
+            _ProcessState(
+                pid, machine.rng("bsplib-compute", label, nprocs, pid),
+                runs=runs,
+            )
             for pid in range(nprocs)
         ]
         self._collective = _Collective(nprocs)
@@ -251,7 +327,11 @@ class BSPRuntime:
             nprocs=self.nprocs,
             return_values=[state.return_value for state in self.states],
             supersteps=self._records,
-            final_times=np.array([state.clock.now for state in self.states]),
+            final_times=np.stack(
+                [np.asarray(state.clock.now, dtype=float)
+                 for state in self.states],
+                axis=-1,
+            ),
         )
 
     # --------------------------------------------------- superstep resolve
@@ -262,7 +342,12 @@ class BSPRuntime:
     def _resolve_superstep(self) -> None:
         states = self.states
         p = self.nprocs
-        entries = np.array([state.clock.now for state in states])
+        batched = self.runs is not None
+        if batched:
+            # (R, P): replication-major, process axis last.
+            entries = np.stack([state.clock.now for state in states], axis=-1)
+        else:
+            entries = np.array([state.clock.now for state in states])
 
         self._commit_registrations()
         self._commit_tag_sizes()
@@ -271,29 +356,55 @@ class BSPRuntime:
         messages = 0
         payload_total = 0
         if p > 1:
-            last_arrival, messages, payload_total = self._schedule_transfers(entries)
+            last_arrival, messages, payload_total = (
+                self._schedule_transfers_batch(entries) if batched
+                else self._schedule_transfers(entries)
+            )
 
         if p > 1:
-            sync_exit = simulate_stages(
-                self.truth,
-                self._sync_stages,
-                payload_bytes=self._sync_payloads,
-                rng=self._sync_rng if self.noisy else None,
-                noise=self._noise,
-                entry_times=entries,
-            )
+            if batched:
+                sync_exit = simulate_stages_batch(
+                    self.truth,
+                    self._sync_stages,
+                    runs=self.runs,
+                    payload_bytes=self._sync_payloads,
+                    rng=self._sync_rng if self.noisy else None,
+                    noise=self._noise,
+                    entry_times=entries,
+                )
+            else:
+                sync_exit = simulate_stages(
+                    self.truth,
+                    self._sync_stages,
+                    payload_bytes=self._sync_payloads,
+                    rng=self._sync_rng if self.noisy else None,
+                    noise=self._noise,
+                    entry_times=entries,
+                )
         else:
             sync_exit = entries.copy()
 
         exits = np.maximum(sync_exit, last_arrival)
         self._apply_data()
         for pid, state in enumerate(states):
-            state.clock.advance_to(float(exits[pid]))
+            if batched:
+                state.clock.advance_to(exits[:, pid])
+            else:
+                state.clock.advance_to(float(exits[pid]))
 
+        if batched:
+            compute = np.stack([
+                np.broadcast_to(
+                    np.asarray(state.compute_accum, dtype=float), (self.runs,)
+                )
+                for state in states
+            ], axis=-1)
+        else:
+            compute = np.array([state.compute_accum for state in states])
         record = SuperstepRecord(
             index=self._superstep,
             entry_times=entries,
-            compute_seconds=np.array([state.compute_accum for state in states]),
+            compute_seconds=compute,
             last_arrival=last_arrival,
             sync_exit=sync_exit,
             exit_times=exits,
@@ -405,12 +516,10 @@ class BSPRuntime:
         outbound.sort(key=lambda item: (item[0], item[1], item[2]))
         # Each pass builds one plan of (src, dst, nbytes, ready, rec)
         # transfers; the bulk noise vector and the ship() calls both
-        # derive from it, so endpoint/size logic exists exactly once.
+        # derive from it, so endpoint/size logic exists exactly once
+        # (shared with the batched scheduler via _transfer_endpoints).
         pass1 = [
-            (rec.requester_pid, rec.target_pid, HEADER_BYTES, ready, rec)
-            if kind == "get"
-            else (rec.header.source_pid, rec.dest_pid,
-                  rec.nbytes + HEADER_BYTES, ready, rec)
+            (*_transfer_endpoints(kind, rec), ready, rec)
             for ready, _src, _seq, kind, rec in outbound
         ]
         transits1 = self._noisy_transits(np.array([
@@ -430,7 +539,7 @@ class BSPRuntime:
         # request and finished its superstep computation (§6.2: the value
         # transferred is the one at the end of the step).
         pass2 = [
-            (rec.target_pid, rec.requester_pid, rec.nbytes + HEADER_BYTES,
+            (*_reply_endpoints(rec),
              max(request_arrival, entries[rec.target_pid]), rec)
             for request_arrival, rec in sorted(
                 get_requests, key=lambda item: (item[0], item[1].requester_pid)
@@ -443,6 +552,130 @@ class BSPRuntime:
         for (src, dst, nbytes, ready, _rec), transit in zip(pass2, transits2):
             arrival = ship(src, dst, nbytes, ready, transit)
             last_arrival[dst] = max(last_arrival[dst], arrival)
+        return last_arrival, messages, payload_total
+
+    def _schedule_transfers_batch(self, entries: np.ndarray):
+        """Replication-batched counterpart of :meth:`_schedule_transfers`.
+
+        ``entries`` is ``(R, P)``; returns ``((R, P) last arrivals,
+        messages, payload bytes)``.  Per replication the event semantics
+        are exactly the scalar pass: messages are enumerated in the
+        canonical ``(pid, sequence)`` commit order (replication-invariant,
+        and the bulk draw order), while each transmit-NIC FIFO processes
+        its replication's messages in commit-time order via a stable
+        argsort — ties fall back to the canonical order, matching the
+        scalar sort key ``(commit_time, pid, sequence)``.  On the clean
+        path every replication is bit-identical to the scalar scheduler.
+        """
+        truth = self.truth
+        runs = self.runs
+        nodes = np.array(
+            [self.placement.node_of(r) for r in range(self.nprocs)],
+            dtype=np.intp,
+        )
+        n_nodes = int(nodes.max()) + 1
+        rows = np.arange(runs)
+        tx_free = np.zeros((runs, n_nodes))
+        last_arrival = entries.copy()
+
+        def draw_transits(src, dst, nbytes) -> np.ndarray:
+            """One ``(R, M)`` bulk transit draw in canonical order."""
+            base = truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
+            if self._noise is None or base.size == 0:
+                return np.broadcast_to(base, (runs, base.size))
+            return self._noise.sample_matrix(self._sync_rng, base, runs)
+
+        def ship_pass(src, dst, nbytes, ready, order_key) -> np.ndarray:
+            """FIFO-schedule one pass; returns the ``(R, M)`` arrivals.
+
+            ``order_key`` is the per-replication processing order of the
+            shared transmit NICs (commit times in pass 1, request-header
+            arrivals in pass 2, mirroring the scalar sort keys).
+            """
+            transits = draw_transits(src, dst, nbytes)
+            arrivals = ready + transits + truth.recv_overhead
+            remote = np.flatnonzero(nodes[src] != nodes[dst])
+            if remote.size:
+                # Association matches the scalar ship() expression
+                # (wire_entry + nic_gap) + nbytes * inv_bandwidth, so the
+                # clean path is bit-identical.
+                wire_cost = (
+                    nbytes[remote] * truth.inv_bandwidth[src[remote], dst[remote]]
+                )
+                src_node = nodes[src[remote]]
+                order = np.argsort(order_key[:, remote], axis=1, kind="stable")
+                for k in range(remote.size):
+                    m = order[:, k]
+                    g = remote[m]
+                    wire_entry = np.maximum(
+                        ready[rows, g], tx_free[rows, src_node[m]]
+                    )
+                    tx_free[rows, src_node[m]] = (
+                        wire_entry + truth.nic_gap + wire_cost[m]
+                    )
+                    arrivals[rows, g] = (
+                        wire_entry + transits[rows, g] + truth.recv_overhead
+                    )
+            return arrivals
+
+        def fold_arrivals(dst, arrivals, mask) -> None:
+            """Max arrivals into ``last_arrival`` per destination (the
+            scalar max chain is order-independent)."""
+            for d in np.unique(dst[mask]):
+                sel = mask & (dst == d)
+                last_arrival[:, d] = np.maximum(
+                    last_arrival[:, d], arrivals[:, sel].max(axis=1)
+                )
+
+        # Canonical commit order: (pid, sequence).  Unlike the scalar
+        # pass's (commit_time, pid, sequence) sort this is replication-
+        # invariant; per-process sequences are commit-ordered already, so
+        # a stable argsort by commit time recovers the scalar order
+        # inside every replication.
+        outbound = []
+        for state in self.states:
+            recs = (
+                [("put", rec) for rec in state.puts]
+                + [("send", rec) for rec in state.sends]
+                + [("get", rec) for rec in state.gets]
+            )
+            recs.sort(key=lambda item: item[1].header.sequence)
+            outbound.extend(recs)
+        if not outbound:
+            return last_arrival, 0, 0
+
+        ends1 = [_transfer_endpoints(kind, rec) for kind, rec in outbound]
+        src1 = np.array([e[0] for e in ends1], dtype=np.intp)
+        dst1 = np.array([e[1] for e in ends1], dtype=np.intp)
+        nbytes1 = np.array([e[2] for e in ends1], dtype=float)
+        ready1 = np.stack(
+            [np.asarray(rec.commit_time, dtype=float) for _, rec in outbound],
+            axis=-1,
+        )
+        is_get = np.array([kind == "get" for kind, _ in outbound])
+
+        arrivals1 = ship_pass(src1, dst1, nbytes1, ready1, order_key=ready1)
+        fold_arrivals(dst1, arrivals1, ~is_get)
+        messages = len(outbound)
+        payload_total = int(nbytes1.sum())
+
+        gets = [rec for kind, rec in outbound if kind == "get"]
+        if gets:
+            # Pass 2: replies leave once the owner has both received the
+            # request header and finished its superstep computation; the
+            # owner's NIC serves replies in request-arrival order.
+            request_arrivals = arrivals1[:, is_get]
+            ends2 = [_reply_endpoints(rec) for rec in gets]
+            src2 = np.array([e[0] for e in ends2], dtype=np.intp)
+            dst2 = np.array([e[1] for e in ends2], dtype=np.intp)
+            nbytes2 = np.array([e[2] for e in ends2], dtype=float)
+            ready2 = np.maximum(request_arrivals, entries[:, src2])
+            arrivals2 = ship_pass(
+                src2, dst2, nbytes2, ready2, order_key=request_arrivals
+            )
+            fold_arrivals(dst2, arrivals2, np.ones(len(gets), dtype=bool))
+            messages += len(gets)
+            payload_total += int(nbytes2.sum())
         return last_arrival, messages, payload_total
 
     # ------------------------------------------------------- data movement
@@ -526,9 +759,15 @@ def bsp_run(
     op_overhead: float = 1.5e-6,
     label: str = "bsp-run",
     noisy: bool = True,
+    runs: int | None = None,
     **kwargs,
 ) -> BSPRunResult:
-    """Convenience entry point: build a runtime and execute ``program``."""
+    """Convenience entry point: build a runtime and execute ``program``.
+
+    ``runs=R`` executes all ``R`` noisy replications in one batched pass
+    (see the module docstring); the returned result then carries
+    ``(R, ...)`` time arrays and a per-replication ``run_seconds`` view.
+    """
     runtime = BSPRuntime(
         machine,
         nprocs,
@@ -536,5 +775,6 @@ def bsp_run(
         op_overhead=op_overhead,
         label=label,
         noisy=noisy,
+        runs=runs,
     )
     return runtime.run(program, *args, **kwargs)

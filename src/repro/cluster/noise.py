@@ -18,6 +18,7 @@ throughout the thesis) are robust here while means are not.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,7 +85,20 @@ class NoiseModel:
             0-d array and three scalar RNG calls.  Use :meth:`sample` on a
             whole vector or :meth:`sample_matrix` for a replication batch;
             this remains only for genuinely scalar one-off draws.
+
+            The warning below is raised with ``stacklevel=2``, so pytest's
+            ``error::DeprecationWarning`` rule scoped to ``repro`` modules
+            turns any *in-repo* caller into a test failure while leaving
+            external one-off users (and the deprecation test itself) on a
+            plain warning.
         """
+        warnings.warn(
+            "NoiseModel.sample_scalar is deprecated on hot paths: use "
+            "NoiseModel.sample on a whole vector or NoiseModel.sample_matrix "
+            "for a replication batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return float(self.sample(rng, np.asarray(base, dtype=float)))
 
 

@@ -138,20 +138,22 @@ def barrier_cost(point: Mapping[str, Any]) -> dict:
 @register_experiment(
     "barrier-adapt",
     "greedy adaptation vs best flat default: preset, nprocs "
-    "[runs, gap_ratio, comm_samples, nodes, seed]",
+    "[runs, gap_ratio, comm_samples, comm_runs, nodes, seed]",
 )
 def barrier_adapt(point: Mapping[str, Any]) -> dict:
     from repro.adapt.evaluate import evaluate_adaptation
 
     machine = _machine_from_point(point)
+    comm_runs = point.get("comm_runs")
     ev = evaluate_adaptation(
         machine,
         int(point["nprocs"]),
         runs=int(point.get("runs", 16)),
         gap_ratio=float(point.get("gap_ratio", 2.0)),
         comm_samples=int(point.get("comm_samples", 5)),
+        comm_runs=None if comm_runs is None else int(comm_runs),
     )
-    return {
+    metrics = {
         "adapted_pattern": ev.pattern_name,
         "top_kind": ev.top_kind,
         "levels": ev.levels,
@@ -162,6 +164,11 @@ def barrier_adapt(point: Mapping[str, Any]) -> dict:
         "default_measured_s": ev.best_default_measured,
         "measured_speedup": ev.measured_speedup,
     }
+    if ev.ensemble_runs is not None:
+        metrics["ensemble_predicted_s"] = ev.ensemble_predicted_mean
+        metrics["ensemble_predicted_spread"] = ev.ensemble_predicted_spread
+        metrics["choice_stability"] = ev.choice_stability
+    return metrics
 
 
 @register_experiment(
@@ -245,7 +252,8 @@ def bspbench_rate(point: Mapping[str, Any]) -> dict:
 @register_experiment(
     "inner-product",
     "measured BSP inner product vs classic Eq. 3.7 estimate: preset, "
-    "nprocs, n_total [samples, seed]",
+    "nprocs, n_total [samples, runs, seed]; runs=R measures a batched "
+    "R-replication ensemble in one bsp_run",
 )
 def inner_product(point: Mapping[str, Any]) -> dict:
     import numpy as np
@@ -273,8 +281,10 @@ def inner_product(point: Mapping[str, Any]) -> dict:
         ctx.charge_kernel(DOT_PRODUCT, p)
         ctx.sync()
 
+    runs = point.get("runs")
     measured = bsp_run(
-        machine, nprocs, program, label=f"fig32-{nprocs}"
+        machine, nprocs, program, label=f"fig32-{nprocs}",
+        runs=None if runs is None else int(runs),
     ).total_seconds
     params = run_bspbench(
         machine, nprocs, samples=int(point.get("samples", 5))
@@ -691,9 +701,10 @@ def overlap_commit(point: Mapping[str, Any]) -> dict:
 @register_experiment(
     "spinlock",
     "spinlock handoff under contention (§5.1): preset, lock, nprocs "
-    "[acquisitions, placement=block, seed]; lock='bound' reports the "
+    "[acquisitions, placement=block, runs, seed]; lock='bound' reports the "
     "single-signal lower bound against a measured dissemination barrier "
-    "on the round-robin placement instead",
+    "on the round-robin placement instead; runs=R re-rolls the handoff "
+    "noise over R batched replications",
 )
 def spinlock(point: Mapping[str, Any]) -> dict:
     from repro.barriers import dissemination_barrier, measure_barrier
@@ -719,9 +730,11 @@ def spinlock(point: Mapping[str, Any]) -> dict:
     placement = machine.placement(
         nprocs, policy=str(point.get("placement", "block"))
     )
+    runs = point.get("runs")
     result = simulate_spinlock(
         machine, lock, placement,
         acquisitions_per_thread=int(point.get("acquisitions", 12)),
+        runs=None if runs is None else int(runs),
     )
     return {"mean_handoff_s": result.mean_handoff}
 

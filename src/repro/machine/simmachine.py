@@ -144,11 +144,19 @@ class SimMachine:
         rng: np.random.Generator | None = None,
         footprint_bytes: float | None = None,
     ) -> float:
-        """Sampled (noisy) execution time, as a timer would observe it."""
-        base = self.kernel_time_clean(core, kernel, n, reps, footprint_bytes)
-        if rng is None:
-            return base
-        return self.noise.sample_scalar(rng, base)
+        """Sampled (noisy) execution time, as a timer would observe it.
+
+        Delegates to :meth:`kernel_time_batch` on a length-1 vector so the
+        scalar and batch noise paths cannot drift apart: a shape-``(1,)``
+        draw consumes the RNG stream exactly as the old per-scalar draw
+        did, so existing noisy streams are bit-identical.
+        """
+        return float(
+            self.kernel_time_batch(
+                core, kernel, [n], reps=reps, rng=rng,
+                footprint_bytes=footprint_bytes,
+            )[0]
+        )
 
     def kernel_time_batch(
         self,
@@ -188,6 +196,29 @@ class SimMachine:
         if rng is None:
             return base
         return self.noise.sample(rng, base)
+
+    def kernel_time_runs(
+        self,
+        core: int,
+        kernel: Kernel,
+        n: int,
+        runs: int,
+        reps: int = 1,
+        rng: np.random.Generator | None = None,
+        footprint_bytes: float | None = None,
+    ) -> np.ndarray:
+        """``runs`` independent noisy timings of one kernel application.
+
+        The replication axis of the batched BSP runtime: one
+        :meth:`NoiseModel.sample_matrix` draw replaces ``runs`` scalar
+        round trips, filling the replication axis in the engine's
+        documented replication-major order.  ``rng=None`` broadcasts the
+        clean time to every replication.
+        """
+        base = self.kernel_time_clean(core, kernel, n, reps, footprint_bytes)
+        if rng is None:
+            return np.full(runs, base)
+        return self.noise.sample_matrix(rng, base, runs)
 
     def describe(self) -> str:
         return self.topology.describe()

@@ -8,6 +8,7 @@ from repro.spinlocks.model import (
     contention_sweep,
     simulate_spinlock,
 )
+from repro.spinlocks.reference import reference_spinlock
 
 __all__ = [
     "ALGORITHMS",
@@ -15,5 +16,6 @@ __all__ = [
     "SpinlockResult",
     "barrier_lower_bound",
     "contention_sweep",
+    "reference_spinlock",
     "simulate_spinlock",
 ]

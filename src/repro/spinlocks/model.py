@@ -50,13 +50,32 @@ ALGORITHMS = ("test_and_set", "ticket", "mcs")
 
 @dataclass(frozen=True)
 class SpinlockResult:
-    """Outcome of one contention experiment."""
+    """Outcome of one contention experiment.
+
+    ``per_acquisition`` is ``(N,)`` for a single run and ``(R, N)`` for a
+    replication batch (``runs=R``): the same handoff schedule re-rolled
+    under ``R`` independent noise replications.
+    """
 
     algorithm: str
     nthreads: int
     acquisitions: int
-    total_seconds: float
+    total_seconds: float  # single run: the run's span; batch: mean span
     per_acquisition: np.ndarray  # cost of each critical-section handoff
+    critical_section: float = 0.2e-6
+
+    @property
+    def runs(self) -> int | None:
+        """Replication count, or ``None`` for a single (scalar) run."""
+        return None if self.per_acquisition.ndim == 1 else int(
+            self.per_acquisition.shape[0]
+        )
+
+    @property
+    def run_seconds(self) -> np.ndarray:
+        """Per-replication total span, shape ``(R,)`` (``(1,)`` scalar)."""
+        handoffs = np.atleast_2d(self.per_acquisition)
+        return handoffs.sum(axis=1) + self.acquisitions * self.critical_section
 
     @property
     def mean_handoff(self) -> float:
@@ -69,28 +88,24 @@ def _line_cost(machine: SimMachine, placement: Placement, a: int, b: int) -> flo
     return base * LINE_TRANSFER_SCALE[placement.relation(a, b)]
 
 
-def simulate_spinlock(
+def _handoff_schedule(
     machine: SimMachine,
     algorithm: str,
     placement: Placement,
-    acquisitions_per_thread: int = 16,
-    critical_section: float = 0.2e-6,
-    stream: str = "spinlock",
-    noisy: bool = True,
-) -> SpinlockResult:
-    """Simulate ``nthreads`` contending for one lock until every thread has
-    completed its share of acquisitions."""
-    if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
-    require_int(acquisitions_per_thread, "acquisitions_per_thread")
-    if acquisitions_per_thread < 1:
-        raise ValueError("acquisitions_per_thread must be >= 1")
-    nthreads = placement.nprocs
-    rng = machine.rng(stream, algorithm, nthreads) if noisy else None
+    acquisitions_per_thread: int,
+    stream: str,
+) -> np.ndarray:
+    """The deterministic part of the contention experiment: the winner
+    sequence and each handoff's clean (noise-free) line-transfer cost.
 
+    The winner arbitration draws from its own ``"arbiter"`` stream and
+    never touches the noise stream, so the schedule is identical whether
+    the run is clean, noisy, or a replication batch — which is what lets
+    the noise be drawn in bulk afterwards.
+    """
+    nthreads = placement.nprocs
     remaining = np.full(nthreads, acquisitions_per_thread)
     holder = 0
-    now = 0.0
     costs = []
     total = int(remaining.sum())
     # Deterministic contention: FIFO for queue locks; for the others the
@@ -131,18 +146,64 @@ def simulate_spinlock(
                 * machine.params.links[Relation.SAME_SOCKET].latency
                 for _ in sockets
             )
-        if rng is not None:
-            handoff = machine.noise.sample_scalar(rng, handoff)
-        now += handoff + critical_section
         costs.append(handoff)
         remaining[winner] -= 1
         holder = winner
+    return np.asarray(costs)
+
+
+def simulate_spinlock(
+    machine: SimMachine,
+    algorithm: str,
+    placement: Placement,
+    acquisitions_per_thread: int = 16,
+    critical_section: float = 0.2e-6,
+    stream: str = "spinlock",
+    noisy: bool = True,
+    runs: int | None = None,
+) -> SpinlockResult:
+    """Simulate ``nthreads`` contending for one lock until every thread has
+    completed its share of acquisitions.
+
+    Noise is applied to the whole handoff schedule with one bulk
+    :meth:`NoiseModel.sample` call (or one :meth:`NoiseModel.sample_matrix`
+    call for a ``runs=R`` replication batch, draws filling
+    replication-major) — the scalar reference loop survives as
+    :func:`repro.spinlocks.reference.reference_spinlock`, bit-identical on
+    the clean path and KS-equivalent on the noisy one.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; know {ALGORITHMS}")
+    require_int(acquisitions_per_thread, "acquisitions_per_thread")
+    if acquisitions_per_thread < 1:
+        raise ValueError("acquisitions_per_thread must be >= 1")
+    if runs is not None:
+        runs = require_int(runs, "runs")
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+    nthreads = placement.nprocs
+    clean = _handoff_schedule(
+        machine, algorithm, placement, acquisitions_per_thread, stream
+    )
+    total = int(clean.shape[0])
+    if noisy:
+        rng = machine.rng(stream, algorithm, nthreads)
+        if runs is None:
+            handoffs = machine.noise.sample(rng, clean)
+        else:
+            handoffs = machine.noise.sample_matrix(rng, clean, runs)
+    else:
+        handoffs = clean if runs is None else np.broadcast_to(
+            clean, (runs, total)
+        ).copy()
+    spans = handoffs.sum(axis=-1) + total * critical_section
     return SpinlockResult(
         algorithm=algorithm,
         nthreads=nthreads,
         acquisitions=total,
-        total_seconds=now,
-        per_acquisition=np.asarray(costs),
+        total_seconds=float(np.mean(spans)),
+        per_acquisition=handoffs,
+        critical_section=critical_section,
     )
 
 
@@ -152,9 +213,11 @@ def contention_sweep(
     algorithms=ALGORITHMS,
     acquisitions_per_thread: int = 16,
     placement_policy: str = "block",
+    runs: int | None = None,
 ) -> dict[str, dict[int, SpinlockResult]]:
     """Mean handoff cost vs. contention level per algorithm (§5.1's
-    experiment shape)."""
+    experiment shape).  ``runs=R`` replicates every cell's noise ``R``
+    times in one bulk draw per cell."""
     out: dict[str, dict[int, SpinlockResult]] = {a: {} for a in algorithms}
     for n in thread_counts:
         placement = machine.placement(n, policy=placement_policy)
@@ -162,6 +225,7 @@ def contention_sweep(
             out[algorithm][n] = simulate_spinlock(
                 machine, algorithm, placement,
                 acquisitions_per_thread=acquisitions_per_thread,
+                runs=runs,
             )
     return out
 

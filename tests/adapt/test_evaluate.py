@@ -1,0 +1,56 @@
+"""Tests for the one-call adaptation evaluation and its parameter-stability
+ensemble (``comm_runs``)."""
+
+import pytest
+
+from repro.adapt.evaluate import evaluate_adaptation
+from repro.cluster import presets
+from repro.machine import SimMachine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=31
+    )
+
+
+class TestEvaluateAdaptation:
+    def test_without_ensemble_fields_absent(self, machine):
+        ev = evaluate_adaptation(machine, 8, runs=4, comm_samples=3)
+        assert ev.nprocs == 8
+        assert ev.adapted_measured > 0
+        assert ev.best_default_measured > 0
+        assert ev.ensemble_runs is None
+        assert ev.ensemble_predicted_spread is None
+        assert ev.choice_stability is None
+
+    def test_comm_runs_ensemble_stability(self, machine):
+        ev = evaluate_adaptation(
+            machine, 8, runs=4, comm_samples=3, comm_runs=5
+        )
+        assert ev.ensemble_runs == 5
+        assert ev.ensemble_predicted_mean > 0
+        assert ev.ensemble_predicted_spread >= 0.0
+        # The §5.6.3 extraction is stable on this platform: ensemble
+        # predictions stay within a factor of the point prediction and the
+        # greedy choice agrees for most members.
+        assert ev.ensemble_predicted_mean == pytest.approx(
+            ev.adapted_predicted, rel=1.0
+        )
+        assert 0.0 <= ev.choice_stability <= 1.0
+        assert ev.choice_stability >= 0.5
+
+    def test_ensemble_deterministic(self, machine):
+        a = evaluate_adaptation(machine, 6, runs=4, comm_samples=3,
+                                comm_runs=3)
+        b = evaluate_adaptation(machine, 6, runs=4, comm_samples=3,
+                                comm_runs=3)
+        assert a.ensemble_predicted_mean == b.ensemble_predicted_mean
+        assert a.ensemble_predicted_spread == b.ensemble_predicted_spread
+        assert a.choice_stability == b.choice_stability
+
+    def test_comm_runs_validated(self, machine):
+        with pytest.raises(ValueError, match="comm_runs"):
+            evaluate_adaptation(machine, 4, runs=2, comm_samples=3,
+                                comm_runs=0)

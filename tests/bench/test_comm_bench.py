@@ -136,3 +136,72 @@ class TestHarness:
         a = benchmark_comm(machine, placement, samples=5, sizes=FAST_SIZES)
         b = benchmark_comm(machine, placement, samples=5, sizes=FAST_SIZES)
         np.testing.assert_array_equal(a.params.latency, b.params.latency)
+
+
+class TestEnsemble:
+    """The benchmark's replication dimension (benchmark_comm_ensemble)."""
+
+    def test_single_run_is_benchmark_comm(self, machine):
+        from repro.bench.comm_bench import benchmark_comm_ensemble
+
+        placement = machine.placement(4)
+        single = benchmark_comm(machine, placement, samples=5,
+                                sizes=FAST_SIZES)
+        ensemble = benchmark_comm_ensemble(
+            machine, placement, samples=5, sizes=FAST_SIZES, runs=1
+        )
+        assert len(ensemble) == 1
+        np.testing.assert_array_equal(
+            single.params.latency, ensemble[0].params.latency
+        )
+        np.testing.assert_array_equal(
+            single.params.overhead, ensemble[0].params.overhead
+        )
+        np.testing.assert_array_equal(
+            single.params.inv_bandwidth, ensemble[0].params.inv_bandwidth
+        )
+
+    def test_members_differ_but_reproducible(self, machine):
+        from repro.bench.comm_bench import benchmark_comm_ensemble
+
+        placement = machine.placement(4)
+        a = benchmark_comm_ensemble(
+            machine, placement, samples=5, sizes=FAST_SIZES, runs=3
+        )
+        b = benchmark_comm_ensemble(
+            machine, placement, samples=5, sizes=FAST_SIZES, runs=3
+        )
+        assert len(a) == 3
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.params.latency, rb.params.latency)
+        assert a[0].params.latency.tolist() != a[1].params.latency.tolist()
+
+    def test_members_scatter_around_truth(self, machine):
+        """Every ensemble member is a valid extraction: latencies cluster
+        near the configured link latency for off-node pairs."""
+        from repro.bench.comm_bench import benchmark_comm_ensemble
+
+        placement = machine.placement(6)
+        truth = machine.comm_truth(placement)
+        members = benchmark_comm_ensemble(
+            machine, placement, samples=9, sizes=FAST_SIZES, runs=5
+        )
+        # The slowest off-diagonal pair has the clearest latency signal.
+        masked = truth.latency.copy()
+        np.fill_diagonal(masked, -1.0)
+        i, j = np.unravel_index(int(masked.argmax()), masked.shape)
+        estimates = np.array([m.params.latency[i, j] for m in members])
+        # Intercepts absorb software-path constants; stay within a factor.
+        assert np.all(estimates > 0)
+        assert np.all(estimates < 50 * truth.latency[i, j])
+        spread = estimates.max() - estimates.min()
+        assert spread < estimates.mean()
+
+    def test_runs_validated(self, machine):
+        from repro.bench.comm_bench import benchmark_comm_ensemble
+
+        with pytest.raises(ValueError, match="runs"):
+            benchmark_comm_ensemble(
+                machine, machine.placement(4), samples=5, sizes=FAST_SIZES,
+                runs=0,
+            )

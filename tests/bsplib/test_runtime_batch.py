@@ -1,0 +1,203 @@
+"""Batched BSP runs axis vs the scalar runtime: identity and distribution.
+
+The contract under test (docs/engine.md, "BSP runtime draws"):
+
+* clean path (``noisy=False``): every replication of
+  ``bsp_run(..., runs=R)`` is *bit-identical* to the scalar runtime — the
+  vectorized clocks, transfer scheduler and batched sync apply the same
+  floating-point operations per replication, across payload shapes,
+  process counts, and communication mixes (puts, gets, sends);
+* noisy path: the replication-major bulk draws produce different
+  individual runs but statistically equivalent ensembles;
+* data movement is noise-independent: a batched run returns exactly the
+  scalar run's values and delivered buffers.
+
+Mirrors ``tests/simmpi/test_engine_batch.py`` one layer up the stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsplib import bsp_run
+from repro.cluster import presets
+from repro.kernels import DAXPY, DOT_PRODUCT
+from repro.machine import SimMachine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=77
+    )
+
+
+def make_program(payload_elems: int, supersteps: int, use_gets: bool,
+                 use_sends: bool, reps: int):
+    """An SPMD program exercising every communication kind with
+    deterministic (time-independent) control flow."""
+
+    def program(ctx):
+        p, pid = ctx.nprocs, ctx.pid
+        window = np.zeros(payload_elems * p)
+        scratch = np.zeros(payload_elems)
+        ctx.push_reg(window)
+        ctx.sync()
+        src = np.arange(payload_elems, dtype=float) + pid
+        for step in range(supersteps):
+            ctx.charge_kernel(DAXPY, 512 + 128 * step, reps=reps)
+            ctx.put((pid + 1 + step) % p, src, window,
+                    offset=payload_elems * pid)
+            if use_gets:
+                ctx.get((pid + 2) % p, window, 0, scratch,
+                        nelems=payload_elems)
+            if use_sends:
+                ctx.send((pid + 1) % p, b"", src[: min(4, payload_elems)])
+                if ctx.qsize()[0]:
+                    ctx.move()
+            ctx.charge_kernel(DOT_PRODUCT, 256)
+            ctx.sync()
+        return float(window.sum() + scratch.sum())
+
+    return program
+
+
+RECORD_FIELDS = (
+    "entry_times", "compute_seconds", "last_arrival", "sync_exit",
+    "exit_times",
+)
+
+
+class TestCleanBitIdentity:
+    @given(
+        p=st.integers(2, 12),
+        payload_elems=st.integers(1, 48),
+        supersteps=st.integers(1, 3),
+        use_gets=st.booleans(),
+        use_sends=st.booleans(),
+        runs=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_matches_scalar_bitwise(
+        self, p, payload_elems, supersteps, use_gets, use_sends, runs
+    ):
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=7
+        )
+        program = make_program(payload_elems, supersteps, use_gets,
+                               use_sends, reps=2)
+        ref = bsp_run(machine, p, program, label="clean", noisy=False)
+        bat = bsp_run(machine, p, program, label="clean", noisy=False,
+                      runs=runs)
+        assert bat.final_times.shape == (runs, p)
+        for r in range(runs):
+            assert bat.final_times[r].tolist() == ref.final_times.tolist()
+        assert bat.return_values == ref.return_values
+        assert bat.superstep_count == ref.superstep_count
+        for rec_s, rec_b in zip(ref.supersteps, bat.supersteps):
+            assert rec_s.messages == rec_b.messages
+            assert rec_s.payload_bytes == rec_b.payload_bytes
+            for name in RECORD_FIELDS:
+                scalar = getattr(rec_s, name)
+                batch = getattr(rec_b, name)
+                assert batch.shape == (runs, p)
+                for r in range(runs):
+                    assert batch[r].tolist() == scalar.tolist(), name
+
+    def test_single_process_run(self, machine):
+        def program(ctx):
+            ctx.charge_kernel(DAXPY, 1024)
+            ctx.sync()
+            return ctx.pid
+
+        res = bsp_run(machine, 1, program, label="solo", noisy=False, runs=3)
+        assert res.final_times.shape == (3, 1)
+        assert res.return_values == [0]
+
+    def test_scalar_total_seconds_unchanged_semantics(self, machine):
+        program = make_program(4, 1, False, False, reps=1)
+        res = bsp_run(machine, 4, program, label="scal", noisy=False)
+        assert res.runs is None
+        assert res.total_seconds == float(res.final_times.max())
+        assert res.run_seconds.shape == (1,)
+
+
+class TestNoisyDistribution:
+    def test_ensemble_agrees_with_looped_scalar_runs(self):
+        """Two-sample KS between a batched ensemble and independent scalar
+        runs (per-run distinct labels select independent streams of the
+        same distribution)."""
+        machine = SimMachine(
+            presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=5
+        )
+        program = make_program(8, 2, True, False, reps=2)
+        runs = 200
+        batch = bsp_run(
+            machine, 8, program, label="ks-batch", runs=runs
+        ).run_seconds
+        loop = np.array([
+            bsp_run(machine, 8, program, label=f"ks-loop-{r}").total_seconds
+            for r in range(runs)
+        ])
+        # 1% two-sample KS critical value for n = m = 200 is ~0.163.
+        grid = np.sort(np.concatenate([batch, loop]))
+        ks = np.abs(
+            np.searchsorted(np.sort(batch), grid, side="right") / runs
+            - np.searchsorted(np.sort(loop), grid, side="right") / runs
+        ).max()
+        assert ks < 0.163, f"KS={ks:.3f}"
+        assert np.median(batch) == pytest.approx(np.median(loop), rel=0.05)
+
+    def test_batch_reproducible_and_rows_vary(self, machine):
+        program = make_program(6, 2, False, True, reps=1)
+        a = bsp_run(machine, 6, program, label="rep", runs=16)
+        b = bsp_run(machine, 6, program, label="rep", runs=16)
+        assert a.final_times.tolist() == b.final_times.tolist()
+        assert np.unique(a.run_seconds).size > 1
+
+    def test_noisy_data_movement_matches_scalar(self, machine):
+        """Only time is noisy: delivered data and return values are those
+        of the scalar run."""
+        program = make_program(5, 2, True, True, reps=1)
+        scalar = bsp_run(machine, 5, program, label="data")
+        batch = bsp_run(machine, 5, program, label="data", runs=4)
+        assert batch.return_values == scalar.return_values
+
+    def test_run_seconds_and_total(self, machine):
+        program = make_program(4, 1, False, False, reps=1)
+        res = bsp_run(machine, 4, program, label="stats", runs=8)
+        assert res.runs == 8
+        assert res.run_seconds.shape == (8,)
+        assert res.total_seconds == pytest.approx(res.run_seconds.mean())
+
+
+class TestEdgeCases:
+    def test_runs_validated(self, machine):
+        program = make_program(2, 1, False, False, reps=1)
+        with pytest.raises(ValueError, match="runs"):
+            bsp_run(machine, 2, program, label="bad", runs=0)
+
+    def test_runs_one_shapes(self, machine):
+        program = make_program(3, 1, True, False, reps=1)
+        res = bsp_run(machine, 3, program, label="one", runs=1)
+        assert res.final_times.shape == (1, 3)
+        assert res.runs == 1
+        for rec in res.supersteps:
+            assert rec.exit_times.shape == (1, 3)
+
+    def test_comm_free_superstep(self, machine):
+        """A superstep with no outbound records exercises the batched
+        scheduler's empty path."""
+
+        def program(ctx):
+            ctx.charge_kernel(DAXPY, 256)
+            ctx.sync()
+
+        scalar = bsp_run(machine, 4, program, label="quiet", noisy=False)
+        batch = bsp_run(
+            machine, 4, program, label="quiet", noisy=False, runs=2
+        )
+        for r in range(2):
+            assert batch.final_times[r].tolist() == scalar.final_times.tolist()
+        assert batch.supersteps[0].messages == 0

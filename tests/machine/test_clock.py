@@ -1,8 +1,9 @@
 """Unit tests for virtual clocks."""
 
+import numpy as np
 import pytest
 
-from repro.machine.clock import VirtualClock
+from repro.machine.clock import BatchClock, VirtualClock
 
 
 class TestVirtualClock:
@@ -35,3 +36,46 @@ class TestVirtualClock:
 
     def test_repr(self):
         assert "VirtualClock" in repr(VirtualClock(1.0))
+
+
+class TestBatchClock:
+    def test_starts_at_zero(self):
+        clock = BatchClock(4)
+        assert clock.runs == 4
+        np.testing.assert_array_equal(clock.now, np.zeros(4))
+
+    def test_scalar_advance_hits_every_replication(self):
+        clock = BatchClock(3)
+        clock.advance(1.0)
+        np.testing.assert_array_equal(clock.now, [1.0, 1.0, 1.0])
+
+    def test_vector_advance(self):
+        clock = BatchClock(3)
+        clock.advance(np.array([0.5, 1.0, 1.5]))
+        clock.advance(0.5)
+        np.testing.assert_array_equal(clock.now, [1.0, 1.5, 2.0])
+
+    def test_advance_to_per_replication_monotone(self):
+        clock = BatchClock(2)
+        clock.advance(np.array([2.0, 0.5]))
+        clock.advance_to(np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(clock.now, [2.0, 1.0])
+
+    def test_returned_arrays_stable_across_later_advances(self):
+        """Each advance rebinds a fresh array, so earlier return values —
+        kept as commit times by the runtime — never mutate."""
+        clock = BatchClock(2)
+        first = clock.advance(1.0)
+        clock.advance(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(first, [1.0, 1.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BatchClock(2).advance(-1.0)
+        with pytest.raises(ValueError):
+            BatchClock(2).advance(np.array([0.0, -0.1]))
+        with pytest.raises(ValueError):
+            BatchClock(0)
+
+    def test_repr(self):
+        assert "BatchClock" in repr(BatchClock(2))

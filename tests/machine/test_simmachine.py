@@ -129,3 +129,54 @@ class TestKernelTimeBatch:
             machine.kernel_time_batch(
                 0, DAXPY, [128, 256], footprint_bytes=[1024.0]
             )
+
+
+class TestKernelTimeScalarBatchEquivalence:
+    """kernel_time delegates to kernel_time_batch on a length-1 vector, so
+    the scalar and batch noise paths cannot drift apart."""
+
+    def test_scalar_equals_length_one_batch(self, machine):
+        scalar = machine.kernel_time(0, DAXPY, 1024, rng=machine.rng("eq"))
+        batch = machine.kernel_time_batch(
+            0, DAXPY, [1024], rng=machine.rng("eq")
+        )
+        assert scalar == batch[0]
+        assert isinstance(scalar, float)
+
+    def test_scalar_matches_historical_stream(self, machine):
+        """A shape-(1,) draw consumes the RNG exactly as the retired
+        per-scalar 0-d draw did — noisy kernel streams are unchanged."""
+        clean = machine.kernel_time_clean(0, DAXPY, 2048)
+        new = machine.kernel_time(0, DAXPY, 2048, rng=machine.rng("hist"))
+        old = float(
+            machine.noise.sample(
+                machine.rng("hist"), np.asarray(clean, dtype=float)
+            )
+        )
+        assert new == old
+
+    def test_clean_scalar_unchanged(self, machine):
+        assert machine.kernel_time(0, DAXPY, 512) == machine.kernel_time_clean(
+            0, DAXPY, 512
+        )
+
+
+class TestKernelTimeRuns:
+    def test_clean_broadcasts_base(self, machine):
+        out = machine.kernel_time_runs(0, DAXPY, 1024, runs=5)
+        assert out.shape == (5,)
+        assert np.unique(out).size == 1
+        assert out[0] == machine.kernel_time_clean(0, DAXPY, 1024)
+
+    def test_noisy_reproducible_and_varies(self, machine):
+        a = machine.kernel_time_runs(0, DAXPY, 1024, 8, rng=machine.rng("kr"))
+        b = machine.kernel_time_runs(0, DAXPY, 1024, 8, rng=machine.rng("kr"))
+        np.testing.assert_array_equal(a, b)
+        assert np.unique(a).size > 1
+
+    def test_replication_major_contract(self, machine):
+        """kernel_time_runs is one sample_matrix call on the clean base."""
+        clean = machine.kernel_time_clean(0, DAXPY, 4096)
+        direct = machine.noise.sample_matrix(machine.rng("km"), clean, 6)
+        via = machine.kernel_time_runs(0, DAXPY, 4096, 6, rng=machine.rng("km"))
+        np.testing.assert_array_equal(via, direct)
