@@ -15,10 +15,17 @@ The run demonstrates the three campaign-engine guarantees:
    deterministic.
 
 Run:  python examples/explore_barrier_space.py
+
+With ``--telemetry-out DIR`` the whole run records telemetry
+(:mod:`repro.obs`) and exports a Perfetto-loadable Chrome trace plus a
+metrics snapshot into ``DIR`` — the CI telemetry-smoke artifacts.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import tempfile
 
 from repro.explore import DesignSpace, run_campaign
@@ -36,7 +43,38 @@ SPACE = DesignSpace.from_dict({
 })
 
 
-def main() -> None:
+def export_telemetry(store: str, out_dir: str) -> None:
+    """Export the run's recorded telemetry as CI-friendly artifacts."""
+    from repro import obs
+
+    obs.current().flush()
+    events = obs.read_events(obs.telemetry_dir_for(store))
+    doc = obs.chrome_trace(events)
+    complete = obs.validate_chrome_trace(doc)
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "trace.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    with open(os.path.join(out_dir, "metrics.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(obs.merged_metrics(events), fh, indent=2, sort_keys=True)
+    pids = {e["pid"] for e in events if e.get("type") == "span"}
+    print(f"\ntelemetry: {len(events)} events from {len(pids)} processes; "
+          f"wrote {complete}-span Chrome trace and metrics snapshot "
+          f"to {out_dir}/")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--telemetry-out", metavar="DIR", default=None,
+        help="record telemetry and export trace.json + metrics.json here",
+    )
+    args = parser.parse_args(argv)
+    if args.telemetry_out:
+        from repro import obs
+
+        obs.enable()
     with tempfile.TemporaryDirectory() as store:
         print(f"campaign: {len(SPACE.expand())} design points "
               f"(3 presets x 4 patterns x 3 process counts)\n")
@@ -106,6 +144,9 @@ def main() -> None:
         print(format_table(
             ["preset", "pattern", "P", "measured [us]", "messages"], rows
         ))
+
+        if args.telemetry_out:
+            export_telemetry(store, args.telemetry_out)
 
 
 if __name__ == "__main__":

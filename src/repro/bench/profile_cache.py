@@ -37,6 +37,7 @@ import enum
 import hashlib
 import json
 import os
+import time
 from typing import Any
 
 import numpy as np
@@ -44,6 +45,7 @@ import numpy as np
 from repro.barriers.cost_model import CommParameters
 from repro.cluster.topology import Placement
 from repro.machine.simmachine import SimMachine
+from repro.obs import current as _telemetry
 
 #: Version token baked into every cache key.  Bump when the comm
 #: benchmark's RNG draw order, estimators, or defaults change meaning.
@@ -148,6 +150,11 @@ class ProfileCache:
         self._env_checked = False
         self.hits = 0
         self.misses = 0
+        # Per-run deltas since the last ``flush_run_stats`` — persisted as
+        # one JSONL record per flushing process under the cache directory.
+        self._run_hits = 0
+        self._run_misses = 0
+        self._run_benchmark_s = 0.0
 
     # ------------------------------------------------------- configuration
 
@@ -168,6 +175,7 @@ class ProfileCache:
 
         self._env_checked = True
         if path is None:
+            self.flush_run_stats()  # attribute pending deltas to the old store
             self._store = None
             self._path = None
             os.environ.pop(ENV_VAR, None)
@@ -176,6 +184,14 @@ class ProfileCache:
             if export_env:
                 os.environ[ENV_VAR] = self._path
             return
+        if self._path is not None:
+            self.flush_run_stats()  # attribute pending deltas to the old store
+        else:
+            # Store-less deltas belong to no store; don't misattribute
+            # them to the one being attached.
+            self._run_hits = 0
+            self._run_misses = 0
+            self._run_benchmark_s = 0.0
         self._path = os.fspath(path)
         directory = os.path.dirname(self._path)
         if directory:
@@ -200,6 +216,9 @@ class ProfileCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self._run_hits = 0
+        self._run_misses = 0
+        self._run_benchmark_s = 0.0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -240,9 +259,13 @@ class ProfileCache:
             machine, placement, samples, sizes, request_counts, stream,
             intercept_max_size,
         )
+        tele = _telemetry()
         params = self._memory.get(key)
         if params is not None:
             self.hits += 1
+            self._run_hits += 1
+            if tele is not None:
+                tele.count("profile_cache.hits")
             if self._store is not None and self._store.get(key) is None:
                 # Write a memory hit through to a newly-attached store, so
                 # switching store directories mid-process still leaves each
@@ -257,8 +280,15 @@ class ProfileCache:
                 params = _params_from_record(record)
                 self._memory[key] = params
                 self.hits += 1
+                self._run_hits += 1
+                if tele is not None:
+                    tele.count("profile_cache.hits")
                 return params
         self.misses += 1
+        self._run_misses += 1
+        if tele is not None:
+            tele.count("profile_cache.misses")
+        bench_pc0 = time.perf_counter()
         report = benchmark_comm(
             machine,
             placement,
@@ -268,6 +298,17 @@ class ProfileCache:
             stream=stream,
             intercept_max_size=intercept_max_size,
         )
+        bench_s = time.perf_counter() - bench_pc0
+        self._run_benchmark_s += bench_s
+        if tele is not None:
+            tele.observe("profile_cache.benchmark_seconds", bench_s)
+            tele.emit_span(
+                "profile_cache.benchmark",
+                time.time() - bench_s,
+                bench_s,
+                key=key,
+                samples=int(samples),
+            )
         # Round-trip through JSON so a fresh profile is bit-identical to
         # its later disk-served copy (floats survive repr round-trips
         # exactly; executor-equivalence tests rely on this).
@@ -278,6 +319,43 @@ class ProfileCache:
             self._store.put(key, record)
         return params
 
+    # ----------------------------------------------------------- run stats
+
+    def flush_run_stats(self) -> dict | None:
+        """Persist the hit/miss/benchmark-time deltas accrued since the
+        last flush as one JSONL record next to ``profiles.jsonl``.
+
+        Appends with the same single-``os.write`` ``O_APPEND`` discipline
+        as the profiles themselves, so executor workers and the campaign
+        parent can flush concurrently.  No-op (returns ``None``) when no
+        persistence is attached or nothing happened since the last flush.
+        """
+        if self._path is None:
+            return None
+        if not (self._run_hits or self._run_misses or self._run_benchmark_s):
+            return None
+        record = {
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+            "hits": self._run_hits,
+            "misses": self._run_misses,
+            "benchmark_s": self._run_benchmark_s,
+        }
+        self._run_hits = 0
+        self._run_misses = 0
+        self._run_benchmark_s = 0.0
+        path = os.path.join(os.path.dirname(self._path), "stats.jsonl")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            return None  # stats are best-effort; never fail the run
+        return record
+
 
 #: Process-wide singleton used by ``repro.barriers.evaluate`` and the
 #: stencil predictor; campaigns attach persistence to it.
@@ -287,3 +365,32 @@ PROFILE_CACHE = ProfileCache()
 def store_path_for(store_dir: str | os.PathLike) -> str:
     """Canonical persistence path alongside a campaign result store."""
     return os.path.join(os.fspath(store_dir), ".profile-cache", "profiles.jsonl")
+
+
+def stats_path_for(store_dir: str | os.PathLike) -> str:
+    """The per-run cache-stats JSONL next to a store's profile cache."""
+    return os.path.join(os.fspath(store_dir), ".profile-cache", "stats.jsonl")
+
+
+def read_run_stats(store_dir: str | os.PathLike) -> list[dict]:
+    """Every persisted per-run stats record for a store, oldest first.
+
+    Torn tail lines are skipped, mirroring the result-cache loader.
+    """
+    path = stats_path_for(store_dir)
+    records: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return []
+    return records

@@ -81,6 +81,7 @@ from repro.bsplib.registration import RegistrationTable
 from repro.bsplib.sync_model import dissemination_payloads, sync_pattern
 from repro.machine.clock import BatchClock, VirtualClock
 from repro.machine.simmachine import CommTruth, SimMachine
+from repro.obs import current as _telemetry
 from repro.simmpi.engine import simulate_stages, simulate_stages_batch
 from repro.util.validation import require_int, require_nonnegative
 
@@ -298,7 +299,44 @@ class BSPRuntime:
     # ------------------------------------------------------------- running
 
     def run(self, program, *args, **kwargs) -> BSPRunResult:
-        """Run ``program(ctx, *args, **kwargs)`` on every BSP process."""
+        """Run ``program(ctx, *args, **kwargs)`` on every BSP process.
+
+        With telemetry enabled (:mod:`repro.obs`) the run is wrapped in
+        one host span and each superstep's virtual-time accounting is
+        emitted as a *simulated-time* span summary — reading only the
+        :class:`SuperstepRecord` state the runtime keeps anyway, so the
+        execution (and every virtual clock) is unchanged.
+        """
+        tele = _telemetry()
+        if tele is None:
+            return self._run(program, *args, **kwargs)
+        with tele.span(
+            "bsp.run",
+            label=self.label,
+            nprocs=int(self.nprocs),
+            runs=None if self.runs is None else int(self.runs),
+            noisy=bool(self.noisy),
+        ) as span:
+            result = self._run(program, *args, **kwargs)
+            for rec in result.supersteps:
+                entry_min = float(rec.entry_times.min())
+                exit_max = float(rec.exit_times.max())
+                tele.emit_span(
+                    "bsp.superstep",
+                    entry_min,
+                    exit_max - entry_min,
+                    time_base="sim",
+                    superstep=int(rec.index),
+                    messages=int(rec.messages),
+                    payload_bytes=int(rec.payload_bytes),
+                    sim_sync_exit_max_s=float(rec.sync_exit.max()),
+                    sim_compute_mean_s=float(rec.compute_seconds.mean()),
+                )
+            span.set("supersteps", result.superstep_count)
+            span.set("sim_total_s", result.total_seconds)
+        return result
+
+    def _run(self, program, *args, **kwargs) -> BSPRunResult:
         from repro.bsplib.api import BSPContext
 
         errors: list[BaseException] = []

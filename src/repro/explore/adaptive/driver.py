@@ -20,6 +20,7 @@ The stats still split fresh evaluations from cache reads.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -27,6 +28,8 @@ from repro.explore.campaign import Campaign, CampaignStats
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignSpace
 from repro.explore.adaptive.samplers import Observation, make_sampler
+from repro.obs import current as _telemetry
+from repro.obs import summarize_run
 
 
 @dataclass(frozen=True)
@@ -201,6 +204,15 @@ class AdaptiveCampaign:
         return self._campaign.space
 
     def run(self) -> AdaptiveOutcome:
+        """Loop propose → serve → observe until the budget is spent.
+
+        With telemetry on, each round records an ``adaptive.round`` span
+        (serving nests ``campaign.serve`` inside it) and the finished run
+        persists a :class:`repro.obs.TelemetrySummary` next to the store,
+        exactly like an exhaustive :meth:`Campaign.run`.
+        """
+        tele = _telemetry()
+        started = time.time()
         plan = self.plan
         sampler = plan.build_sampler(self.space)
         records: list[ResultRecord] = []
@@ -210,7 +222,19 @@ class AdaptiveCampaign:
             proposals = sampler.propose(batch)
             if not proposals:
                 break  # strategy done (space exhausted or halving finished)
-            served, stats = self._campaign.serve(proposals)
+            if tele is None:
+                served, stats = self._campaign.serve(proposals)
+            else:
+                with tele.span(
+                    "adaptive.round",
+                    campaign=self.name,
+                    round=rounds,
+                    proposed=len(proposals),
+                    strategy=plan.strategy,
+                ) as span:
+                    served, stats = self._campaign.serve(proposals)
+                    span.set("computed", stats.evaluated)
+                    span.set("cached", stats.cached)
             sampler.observe([
                 Observation(point=point, metrics=record.metrics)
                 for point, record in zip(proposals, served)
@@ -220,6 +244,24 @@ class AdaptiveCampaign:
             cached += stats.cached
             failed += stats.failed
             rounds += 1
+        if tele is not None and self._campaign.store_dir is not None:
+            tele.flush()
+            summarize_run(
+                self._campaign.store_dir,
+                campaign=self.name,
+                experiment=self._campaign.experiment,
+                stats={
+                    "total": len(records),
+                    "evaluated": evaluated,
+                    "cached": cached,
+                    "failed": failed,
+                    "rounds": rounds,
+                    "budget": plan.budget,
+                },
+                wall_seconds=time.time() - started,
+                keys=[record.key for record in records],
+                started=started,
+            )
         return AdaptiveOutcome(
             name=self.name,
             plan=plan,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -27,6 +28,8 @@ from repro.explore.cache import ResultCache, record_key
 from repro.explore.experiments import run_point
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignPoint, DesignSpace, jsonable
+from repro.obs import current as _telemetry
+from repro.obs import summarize_run, telemetry_dir_for
 
 
 def _jsonify_metrics(value: Any) -> dict:
@@ -39,14 +42,7 @@ def _jsonify_metrics(value: Any) -> dict:
     return json.loads(json.dumps(jsonable(value, "experiment metrics")))
 
 
-def _evaluate(task: tuple[str, dict]) -> tuple[bool, dict]:
-    """Worker entry point: evaluate one (experiment, point) task.
-
-    Returns ``(ok, metrics-or-error)`` rather than raising, so one failed
-    point cannot poison a whole pool map.  Module-level by necessity: the
-    parallel executor pickles it by reference.
-    """
-    experiment, params = task
+def _evaluate_point(experiment: str, params: dict) -> tuple[bool, dict]:
     try:
         return True, _jsonify_metrics(run_point(experiment, params))
     except Exception as exc:  # noqa: BLE001 — reported, never swallowed
@@ -54,6 +50,37 @@ def _evaluate(task: tuple[str, dict]) -> tuple[bool, dict]:
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(),
         }
+
+
+def _evaluate(task: tuple[str, dict]) -> tuple[bool, dict]:
+    """Worker entry point: evaluate one (experiment, point) task.
+
+    Returns ``(ok, metrics-or-error)`` rather than raising, so one failed
+    point cannot poison a whole pool map.  Module-level by necessity: the
+    parallel executor pickles it by reference.
+
+    With telemetry on, each task records a ``campaign.point`` span keyed
+    like the result cache and flushes its own event file plus the profile
+    cache's per-run stats — so pool workers stream their spans before the
+    pool tears them down, and the parent merges afterwards.
+    """
+    experiment, params = task
+    tele = _telemetry()
+    if tele is None:
+        return _evaluate_point(experiment, params)
+    from repro.bench.profile_cache import PROFILE_CACHE
+
+    with tele.span(
+        "campaign.point",
+        experiment=experiment,
+        key=record_key(experiment, params),
+        point=params,
+    ) as span:
+        ok, metrics = _evaluate_point(experiment, params)
+        span.set("ok", ok)
+    tele.flush()
+    PROFILE_CACHE.flush_run_stats()
+    return ok, metrics
 
 
 def _evaluate_chunk(chunk: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
@@ -82,7 +109,14 @@ class SerialExecutor:
     name = "serial"
 
     def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
-        return [_evaluate(task) for task in tasks]
+        tele = _telemetry()
+        if tele is None:
+            return [_evaluate(task) for task in tasks]
+        tele.gauge("executor.workers", 1)
+        with tele.span(
+            "executor.map", executor=self.name, tasks=len(tasks), workers=1
+        ):
+            return [_evaluate(task) for task in tasks]
 
 
 class ProcessPoolExecutor:
@@ -99,10 +133,22 @@ class ProcessPoolExecutor:
     def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
         if not tasks:
             return []
-        with _pool_context().Pool(
-            processes=_worker_count(tasks, self.workers)
-        ) as pool:
-            return pool.map(_evaluate, tasks)
+        workers = _worker_count(tasks, self.workers)
+        tele = _telemetry()
+        if tele is None:
+            with _pool_context().Pool(processes=workers) as pool:
+                return pool.map(_evaluate, tasks)
+        tele.gauge("executor.workers", workers)
+        # Flush before forking: the workers reset their inherited buffers,
+        # so anything unflushed would otherwise sit in the parent until
+        # the map returns.
+        tele.flush()
+        with tele.span(
+            "executor.map", executor=self.name, tasks=len(tasks),
+            workers=workers,
+        ):
+            with _pool_context().Pool(processes=workers) as pool:
+                return pool.map(_evaluate, tasks)
 
 
 class ChunkedProcessPoolExecutor:
@@ -150,13 +196,30 @@ class ChunkedProcessPoolExecutor:
             return []
         workers = _worker_count(tasks, self.workers)
         chunks = self._chunks(tasks, workers)
+        tele = _telemetry()
         if len(chunks) == 1:
             # One chunk means no parallelism to win; skip the pool.
-            return _evaluate_chunk(chunks[0])
-        with _pool_context().Pool(
-            processes=min(workers, len(chunks))
-        ) as pool:
-            outputs = pool.map(_evaluate_chunk, chunks)
+            if tele is None:
+                return _evaluate_chunk(chunks[0])
+            tele.gauge("executor.workers", 1)
+            with tele.span(
+                "executor.map", executor=self.name, tasks=len(tasks),
+                workers=1, chunks=1,
+            ):
+                return _evaluate_chunk(chunks[0])
+        processes = min(workers, len(chunks))
+        if tele is None:
+            with _pool_context().Pool(processes=processes) as pool:
+                outputs = pool.map(_evaluate_chunk, chunks)
+            return [result for chunk_out in outputs for result in chunk_out]
+        tele.gauge("executor.workers", processes)
+        tele.flush()  # forked workers reset inherited buffers; see above
+        with tele.span(
+            "executor.map", executor=self.name, tasks=len(tasks),
+            workers=processes, chunks=len(chunks),
+        ):
+            with _pool_context().Pool(processes=processes) as pool:
+                outputs = pool.map(_evaluate_chunk, chunks)
         return [result for chunk_out in outputs for result in chunk_out]
 
 
@@ -185,7 +248,14 @@ def make_executor(spec: str | None, workers: int | None = None):
 
 @dataclass(frozen=True)
 class CampaignStats:
-    """How a campaign run was served."""
+    """How a campaign run was served.
+
+    ``cached`` counts points *served from cache this run* (no work done);
+    ``evaluated`` counts points *computed this run* (fresh executor work,
+    failures included).  The two are disjoint and sum to ``total`` — the
+    rates below keep that distinction instead of conflating "cache was
+    useful" with "cache did everything".
+    """
 
     total: int
     evaluated: int
@@ -193,8 +263,24 @@ class CampaignStats:
     failed: int
 
     @property
+    def served_from_cache(self) -> int:
+        """Alias for ``cached``, named for what it means."""
+        return self.cached
+
+    @property
+    def computed(self) -> int:
+        """Alias for ``evaluated``: fresh work done this run."""
+        return self.evaluated
+
+    @property
     def cache_hit_rate(self) -> float:
+        """Fraction of this run's points served from cache."""
         return self.cached / self.total if self.total else 0.0
+
+    @property
+    def computed_rate(self) -> float:
+        """Fraction of this run's points computed fresh."""
+        return self.evaluated / self.total if self.total else 0.0
 
 
 @dataclass(frozen=True)
@@ -255,7 +341,49 @@ class Campaign:
         (:mod:`repro.explore.adaptive`) serves each batch of sampler
         proposals — so adaptive and exhaustive campaigns populate and
         re-use the *same* JSONL store entries.
+
+        With telemetry on, the batch records a ``campaign.serve`` span,
+        binds the context's sink next to this campaign's store (mirroring
+        the profile-cache binding below), and counts served-from-cache vs
+        computed vs failed points.  None of it touches evaluation —
+        results are bit-identical either way.
         """
+        tele = _telemetry()
+        if tele is None:
+            return self._serve(points)
+        if self.store_dir is not None:
+            tele.attach_sink(
+                telemetry_dir_for(self.store_dir), export_env=True
+            )
+        try:
+            with tele.span(
+                "campaign.serve",
+                campaign=self.name,
+                experiment=self.experiment,
+            ) as span:
+                records, stats = self._serve(points)
+                span.set("total", stats.total)
+                span.set("cached", stats.cached)
+                span.set("computed", stats.evaluated)
+                span.set("failed", stats.failed)
+        except BaseException:
+            tele.flush()  # keep the error-stamped span on disk
+            raise
+        if stats.cached:
+            tele.count("campaign.points.served_from_cache", stats.cached)
+        if stats.evaluated:
+            tele.count("campaign.points.computed", stats.evaluated)
+        if stats.failed:
+            tele.count("campaign.points.failed", stats.failed)
+        tele.flush()
+        from repro.bench.profile_cache import PROFILE_CACHE
+
+        PROFILE_CACHE.flush_run_stats()
+        return records, stats
+
+    def _serve(
+        self, points: Sequence[DesignPoint]
+    ) -> tuple[list[ResultRecord], CampaignStats]:
         # Persist memoized comm profiles alongside the result store so
         # every campaign (and executor worker — via fork inheritance or
         # the exported env var under spawn) sharing this store also shares
@@ -283,6 +411,10 @@ class Campaign:
                 cached += 1
             else:
                 pending.append((idx, points[idx]))
+
+        tele = _telemetry()
+        if tele is not None:
+            tele.gauge("executor.queued", len(pending))
 
         outputs = self.executor.map(
             [(self.experiment, p.as_dict()) for _, p in pending]
@@ -333,13 +465,38 @@ class Campaign:
         return records, stats
 
     def run(self) -> CampaignOutcome:
-        """Evaluate all uncached points and return the full result set."""
+        """Evaluate all uncached points and return the full result set.
+
+        With telemetry on and a store attached, a
+        :class:`repro.obs.TelemetrySummary` is persisted under the
+        store's ``.telemetry`` directory — embedding the prior run's
+        digest so re-runs can report what changed.
+        """
+        tele = _telemetry()
+        started = time.time()
         records, stats = self.serve(self.space.expand())
-        return CampaignOutcome(
+        outcome = CampaignOutcome(
             name=self.name,
             results=ResultSet(tuple(records)),
             stats=stats,
         )
+        if tele is not None and self.store_dir is not None:
+            tele.flush()
+            summarize_run(
+                self.store_dir,
+                campaign=self.name,
+                experiment=self.experiment,
+                stats={
+                    "total": stats.total,
+                    "evaluated": stats.evaluated,
+                    "cached": stats.cached,
+                    "failed": stats.failed,
+                },
+                wall_seconds=time.time() - started,
+                keys=[record.key for record in records],
+                started=started,
+            )
+        return outcome
 
 
 class CampaignPointError(RuntimeError):

@@ -16,8 +16,19 @@ Subcommands:
 * ``show NAME``      — print a campaign's stored results as a table,
 * ``results STORE``  — summarise a campaign store (counts, metric
   ranges) and optionally export it as CSV,
+* ``trace [STORE_DIR]`` — export a store's recorded telemetry as a
+  Chrome ``trace_event`` file (``--chrome out.json``, loadable in
+  Perfetto) or a merged metrics snapshot (``--metrics out.json``),
+* ``stats [STORE_DIR]`` — report persisted run summaries, profile-cache
+  hit rates, and (``--telemetry``) top-k slowest points and per-worker
+  utilization from the recorded spans,
 * ``presets``        — list the registered cluster presets,
 * ``experiments``    — list the registered experiments.
+
+``run``, ``adapt``, and ``suite`` accept ``--telemetry`` to record
+spans and metrics under ``<store>/.telemetry`` while they work (the
+``REPRO_TELEMETRY`` environment variable does the same); telemetry
+never changes computed results.
 
 A spec file is pure data::
 
@@ -69,8 +80,16 @@ def _load_spec(path: str) -> dict:
     return spec
 
 
+def _maybe_enable_telemetry(args: argparse.Namespace) -> None:
+    if getattr(args, "telemetry", False):
+        from repro import obs
+
+        obs.enable()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
+    _maybe_enable_telemetry(args)
     try:
         campaign = Campaign(
             spec["name"],
@@ -90,8 +109,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     stats = outcome.stats
     print(
         f"campaign {outcome.name!r}: {stats.total} points "
-        f"({stats.evaluated} evaluated, {stats.cached} cached, "
-        f"{stats.failed} failed; hit rate {stats.cache_hit_rate:.0%})"
+        f"({stats.computed} computed, {stats.served_from_cache} served "
+        f"from cache, {stats.failed} failed; cache hit rate "
+        f"{stats.cache_hit_rate:.0%})"
     )
     _print_results(outcome.results, sort=args.sort, limit=args.limit)
     return 0
@@ -113,6 +133,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     from repro.explore.adaptive import AdaptivePlan, run_adaptive
 
     spec = _load_spec(args.spec)
+    _maybe_enable_telemetry(args)
     if args.objective is None and not args.objectives:
         raise SystemExit(
             "adapt needs --objective METRIC (or --objectives for Pareto "
@@ -238,6 +259,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     except KeyError as exc:
         # str() of a KeyError wraps the message in repr quotes.
         raise SystemExit(exc.args[0]) from None
+    _maybe_enable_telemetry(args)
     # Validate the executor spec up front: the --update-goldens path below
     # destroys the suite's cache, which must not happen on an invocation
     # that was never going to run.
@@ -382,6 +404,7 @@ def _cmd_results(args: argparse.Namespace) -> int:
     print(f"{path}: {summary['records']} records "
           f"({summary['failed']} failed), "
           f"experiments: {', '.join(summary['experiments']) or '(none)'}")
+    _print_last_run(path)
     if summary["parameters"]:
         rows = [[n, c] for n, c in summary["parameters"].items()]
         print(format_table(["parameter", "distinct values"], rows))
@@ -397,6 +420,160 @@ def _cmd_results(args: argparse.Namespace) -> int:
               f"to {args.csv}")
     if args.table:
         _print_results(results, sort=args.sort, limit=args.limit)
+    return 0
+
+
+def _print_last_run(store_path: str) -> None:
+    """Report the last telemetry-enabled run against one store file:
+    served-from-cache vs computed split, and what changed vs the run
+    before.  Silent when no summary was ever persisted."""
+    from repro import obs
+
+    store_dir = os.path.dirname(store_path) or "."
+    name = os.path.basename(store_path)
+    if name.endswith(".jsonl"):
+        name = name[: -len(".jsonl")]
+    summary = obs.load_summary(store_dir, name)
+    if summary is None:
+        return
+    st = summary.stats
+    total = int(st.get("total", 0))
+    cached = int(st.get("cached", 0))
+    rate = cached / total if total else 0.0
+    print(
+        f"last run: {int(st.get('evaluated', 0))} computed, "
+        f"{cached} served from cache (hit rate {rate:.0%}), "
+        f"{int(st.get('failed', 0))} failed "
+        f"in {summary.wall_seconds:.2f}s"
+    )
+    changes = summary.changes_since_previous()
+    if changes is not None:
+        parts = [f"{key} {value:+d}" for key, value in changes.items()
+                 if key != "wall_seconds" and value]
+        parts.append(f"wall {changes['wall_seconds']:+.2f}s")
+        print(f"vs previous run: {', '.join(parts)}")
+
+
+def _telemetry_store(args: argparse.Namespace) -> str:
+    store = args.store if args.store is not None else args.store_dir
+    if not os.path.isdir(store):
+        raise SystemExit(f"no store directory {store!r}")
+    return store
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    store = _telemetry_store(args)
+    sink = obs.telemetry_dir_for(store)
+    events = obs.read_events(sink)
+    if not events:
+        raise SystemExit(
+            f"no telemetry events under {sink!r} — run campaigns with "
+            f"--telemetry (or REPRO_TELEMETRY=1) first"
+        )
+    n_spans = sum(1 for e in events if e.get("type") == "span")
+    n_metrics = sum(1 for e in events if e.get("type") == "metric")
+    pids = sorted({int(e.get("pid", 0)) for e in events})
+    print(f"{sink}: {len(events)} events ({n_spans} spans, {n_metrics} "
+          f"metric updates) from {len(pids)} process(es)")
+    if args.chrome:
+        doc = obs.chrome_trace(events)
+        complete = obs.validate_chrome_trace(doc)
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        print(f"wrote Chrome trace: {args.chrome} ({complete} complete "
+              f"events; load in Perfetto or chrome://tracing)")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(obs.merged_metrics(events), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote metrics snapshot: {args.metrics}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro import obs
+    from repro.bench.profile_cache import read_run_stats
+
+    store = _telemetry_store(args)
+    summaries = obs.list_summaries(store)
+    if summaries:
+        rows = []
+        for s in summaries:
+            st = s.stats
+            rows.append([
+                s.campaign,
+                _time.strftime(
+                    "%Y-%m-%d %H:%M:%S", _time.localtime(s.unix_time)
+                ),
+                f"{s.wall_seconds:.2f}",
+                int(st.get("total", 0)),
+                int(st.get("evaluated", 0)),
+                int(st.get("cached", 0)),
+                int(st.get("failed", 0)),
+            ])
+        print(format_table(
+            ["campaign", "last run", "wall [s]", "points", "computed",
+             "cached", "failed"],
+            rows,
+        ))
+    else:
+        print(f"no run summaries under {obs.telemetry_dir_for(store)!r}")
+
+    run_stats = read_run_stats(store)
+    if run_stats:
+        hits = sum(int(r.get("hits", 0)) for r in run_stats)
+        misses = sum(int(r.get("misses", 0)) for r in run_stats)
+        bench_s = sum(float(r.get("benchmark_s", 0.0)) for r in run_stats)
+        served = hits + misses
+        rate = hits / served if served else 0.0
+        print(
+            f"profile cache: {hits} hits, {misses} misses "
+            f"(hit rate {rate:.0%}) over {len(run_stats)} flushes; "
+            f"{bench_s:.2f}s spent benchmarking"
+        )
+
+    if args.telemetry:
+        events = obs.read_events(obs.telemetry_dir_for(store))
+        top = obs.top_spans(events, k=args.top)
+        if top:
+            rows = [
+                [
+                    f"{s.get('dur', 0.0) * 1e3:.2f}",
+                    int(s.get("pid", 0)),
+                    s.get("attrs", {}).get("experiment", ""),
+                    json.dumps(s.get("attrs", {}).get("point", {}),
+                               sort_keys=True),
+                ]
+                for s in top
+            ]
+            print(f"top {len(top)} slowest points:")
+            print(format_table(["host ms", "pid", "experiment", "point"],
+                               rows))
+        workers = obs.worker_utilization(events)
+        if workers:
+            rows = [
+                [
+                    w["pid"], w["tid"], w["spans"], f"{w['busy_s']:.3f}",
+                    f"{w['utilization']:.0%}",
+                    f"{w['start_offset_s']:.3f}",
+                    f"{w['end_offset_s']:.3f}",
+                ]
+                for w in workers
+            ]
+            print("worker utilization (campaign.point spans):")
+            print(format_table(
+                ["pid", "tid", "points", "busy [s]", "util",
+                 "first start [s]", "last end [s]"],
+                rows,
+            ))
+        if not top and not workers:
+            print("no recorded campaign.point spans")
     return 0
 
 
@@ -455,6 +632,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sort", help="metric to sort the table by")
         p.add_argument("--limit", type=int, help="show at most N rows")
 
+    def add_telemetry(p):
+        p.add_argument(
+            "--telemetry", action="store_true",
+            help="record spans/metrics under <store>/.telemetry "
+                 "(never changes results; see `trace` and `stats`)",
+        )
+
     p_run = sub.add_parser("run", help="run a campaign from a JSON spec")
     p_run.add_argument("spec", help="path to the campaign spec file")
     p_run.add_argument(
@@ -467,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store(p_run)
     add_display(p_run)
+    add_telemetry(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_adapt = sub.add_parser(
@@ -512,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store(p_adapt)
     add_display(p_adapt)
+    add_telemetry(p_adapt)
     p_adapt.set_defaults(fn=_cmd_adapt)
 
     from repro.explore.suites import DEFAULT_GOLDENS_DIR, DEFAULT_SUITE_STORE
@@ -549,6 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--exhaustive", action="store_true",
         help="ignore the suite's sampling plan and expand the full space",
     )
+    add_telemetry(p_suite)
     p_suite.set_defaults(fn=_cmd_suite)
 
     p_drift = sub.add_parser(
@@ -602,6 +789,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_store(p_results)
     add_display(p_results)
     p_results.set_defaults(fn=_cmd_results)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export recorded telemetry (Chrome trace, metrics snapshot)",
+    )
+    p_trace.add_argument(
+        "store", nargs="?", default=None,
+        help="store directory holding .telemetry (default: --store-dir)",
+    )
+    p_trace.add_argument(
+        "--chrome", metavar="OUT.json",
+        help="write a Chrome trace_event file (Perfetto-loadable)",
+    )
+    p_trace.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="write the merged metrics snapshot",
+    )
+    add_store(p_trace)
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="report run summaries, cache rates, and span-derived stats",
+    )
+    p_stats.add_argument(
+        "store", nargs="?", default=None,
+        help="store directory (default: --store-dir)",
+    )
+    p_stats.add_argument(
+        "--telemetry", action="store_true",
+        help="also report top-k slowest points and worker utilization "
+             "from the recorded spans",
+    )
+    p_stats.add_argument(
+        "--top", type=int, default=10,
+        help="slowest points to list with --telemetry (default: 10)",
+    )
+    add_store(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
 
     sub.add_parser(
         "presets", help="list cluster presets"

@@ -1,0 +1,94 @@
+"""``repro.obs`` — unified telemetry: spans, metrics, trace export.
+
+The repository's own observability layer, applying the source paper's
+discipline — attribute wall-clock to the stages of a heterogeneous
+system — to the runtime itself.  Dependency-free and **disabled by
+default**: instrumented hot paths call :func:`current` and pay one
+``if`` when telemetry is off, and enabling it never changes a computed
+result (the golden suites are bit-identical either way; a test enforces
+this).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable("campaigns/.telemetry")     # or REPRO_TELEMETRY=<dir>
+    ...run campaigns / engines...
+    obs.current().flush()
+
+    events = obs.read_events("campaigns/.telemetry")
+    obs.write_chrome_trace("trace.json", events)   # open in Perfetto
+
+See ``docs/observability.md`` for the span/metric model and the CLI
+(``python -m repro.explore trace/stats``).
+"""
+
+from repro.obs.chrome import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.summary import (
+    TELEMETRY_DIRNAME,
+    TelemetrySummary,
+    list_summaries,
+    load_summary,
+    merged_metrics,
+    read_events,
+    spans,
+    summarize_run,
+    summary_path,
+    telemetry_dir_for,
+    top_spans,
+    worker_utilization,
+    write_metrics_snapshot,
+    write_summary,
+)
+from repro.obs.telemetry import (
+    ENV_VAR,
+    Span,
+    Telemetry,
+    current,
+    disable,
+    enable,
+    is_enabled,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "TELEMETRY_DIRNAME",
+    "DEFAULT_SECONDS_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TelemetrySummary",
+    "chrome_trace",
+    "current",
+    "disable",
+    "enable",
+    "is_enabled",
+    "list_summaries",
+    "load_summary",
+    "merged_metrics",
+    "read_events",
+    "spans",
+    "summarize_run",
+    "summary_path",
+    "telemetry_dir_for",
+    "top_spans",
+    "validate_chrome_trace",
+    "worker_utilization",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "write_summary",
+]

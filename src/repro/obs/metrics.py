@@ -1,0 +1,191 @@
+"""Typed telemetry metrics: counters, gauges, fixed-bucket histograms.
+
+The metric model is deliberately minimal and **merge-deterministic**:
+
+* a :class:`Counter` accumulates a float total (and an update count);
+* a :class:`Gauge` keeps the last value set plus its observed min/max;
+* a :class:`Histogram` counts observations into *fixed* bucket edges
+  declared at first use, so two histograms of the same name — from two
+  worker processes, say — merge bucket-wise without any re-binning
+  ambiguity.
+
+Metric *events* (one plain dict per update) are the wire form workers
+append to their telemetry JSONL stream; :meth:`MetricsRegistry.apply_event`
+replays them, so a merged snapshot is a pure fold over event streams:
+counters and histograms are commutative, gauges resolve last-write-wins
+in (file order, event order) — deterministic because worker files are
+merged in sorted filename order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping, Sequence
+
+#: Default histogram bucket edges, in seconds: geometric decades from a
+#: microsecond to 100 s.  Fixed (not adaptive) so merges across processes
+#: and runs are deterministic.
+DEFAULT_SECONDS_EDGES: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0
+)
+
+
+class Counter:
+    """A monotonically accumulating total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.updates = 0
+
+    def add(self, value: float = 1.0) -> None:
+        self.total += float(value)
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {"total": self.total, "updates": self.updates}
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement with min/max envelope."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Fixed-edge bucket counts plus count/total/min/max.
+
+    ``edges`` are the (sorted, strictly increasing) upper bounds of the
+    first ``len(edges)`` buckets; one overflow bucket catches everything
+    above the last edge, so ``len(counts) == len(edges) + 1``.
+    """
+
+    kind = "hist"
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_SECONDS_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(
+            b <= a for a, b in zip(edges, edges[1:])
+        ):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = 0
+        for idx, edge in enumerate(self.edges):  # noqa: B007
+            if value <= edge:
+                break
+        else:
+            idx = len(self.edges)
+        self.counts[idx] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → metric map with event replay for merging."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(**kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._get(name, Counter).add(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._get(name, Gauge).set(value)
+
+    def observe(
+        self, name: str, value: float,
+        edges: Sequence[float] | None = None,
+    ) -> None:
+        with self._lock:
+            self._get(
+                name, Histogram,
+                edges=tuple(edges) if edges else DEFAULT_SECONDS_EDGES,
+            ).observe(value)
+
+    def apply_event(self, event: Mapping[str, Any]) -> None:
+        """Replay one metric event (the JSONL wire form) into the registry."""
+        kind = event.get("kind")
+        name = event["name"]
+        value = event["value"]
+        if kind == "counter":
+            self.count(name, value)
+        elif kind == "gauge":
+            self.gauge(name, value)
+        elif kind == "hist":
+            self.observe(name, value, edges=event.get("edges"))
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+
+    def snapshot(self) -> dict:
+        """Plain-JSON snapshot grouped by metric type, names sorted."""
+        with self._lock:
+            out: dict[str, dict] = {
+                "counters": {}, "gauges": {}, "histograms": {}
+            }
+            section = {
+                "counter": "counters", "gauge": "gauges", "hist": "histograms"
+            }
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                out[section[metric.kind]][name] = metric.snapshot()
+            return out

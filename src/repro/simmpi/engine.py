@@ -61,6 +61,7 @@ import numpy as np
 
 from repro.cluster.noise import NoiseModel
 from repro.machine.simmachine import CommTruth
+from repro.obs import current as _telemetry
 
 
 @dataclass
@@ -140,7 +141,66 @@ def simulate_stages_batch(
     ``entry_times`` may be ``(P,)`` (shared by every replication) or
     ``(runs, P)``.  With ``rng=None`` (or ``noise=None``) every replication
     is the identical clean execution, computed once and broadcast.
+
+    Stage traces are **opt-in**: pass ``trace=[]`` to collect
+    :class:`StageEventTrace` records, or enable telemetry
+    (:mod:`repro.obs`), under which the engine collects them internally
+    and emits one host span per call plus one *simulated-time* span
+    summary per stage.  With both off, the stage loop allocates no
+    per-stage trace state.  Telemetry draws no randomness and never
+    changes the returned exits.
     """
+    tele = _telemetry()
+    if tele is None:
+        return _simulate_stages_batch(
+            truth, stages, runs, payload_bytes, rng, noise, entry_times,
+            trace,
+        )
+    stages = list(stages)
+    eng_trace: list[StageEventTrace] = trace if trace is not None else []
+    first = len(eng_trace)
+    with tele.span(
+        "engine.simulate_stages_batch",
+        runs=int(runs),
+        nprocs=int(truth.nprocs),
+        stages=len(stages),
+        clean=bool(rng is None or noise is None),
+    ) as span:
+        exits = _simulate_stages_batch(
+            truth, stages, runs, payload_bytes, rng, noise, entry_times,
+            eng_trace,
+        )
+        for rec in eng_trace[first:]:
+            entry_min = float(rec.entry.min()) if rec.entry.size else 0.0
+            exit_max = float(rec.exit.max()) if rec.exit.size else 0.0
+            tele.emit_span(
+                "engine.stage",
+                entry_min,
+                exit_max - entry_min,
+                time_base="sim",
+                stage=int(rec.stage),
+                messages=int(rec.messages),
+                runs=int(runs),
+                sim_exit_mean_s=float(
+                    np.atleast_2d(rec.exit).max(axis=-1).mean()
+                ),
+            )
+        span.set(
+            "sim_makespan_s", float(exits.max()) if exits.size else 0.0
+        )
+    return exits
+
+
+def _simulate_stages_batch(
+    truth: CommTruth,
+    stages,
+    runs: int,
+    payload_bytes,
+    rng: np.random.Generator | None,
+    noise: NoiseModel | None,
+    entry_times: np.ndarray | None,
+    trace: list[StageEventTrace] | None,
+) -> np.ndarray:
     if runs < 1:
         raise ValueError("runs must be >= 1")
     p = truth.nprocs
@@ -153,9 +213,9 @@ def simulate_stages_batch(
         sub_trace: list[StageEventTrace] | None = (
             [] if trace is not None else None
         )
-        one = simulate_stages_batch(
+        one = _simulate_stages_batch(
             truth, stages, runs=1, payload_bytes=payload_bytes,
-            entry_times=entry_times, trace=sub_trace,
+            rng=None, noise=None, entry_times=entry_times, trace=sub_trace,
         )
         if trace is not None:
             trace.extend(
@@ -190,7 +250,9 @@ def simulate_stages_batch(
             # pattern; a fully empty stage just costs nothing.
             continue
         payload = stage_payload_matrix(payload_bytes, s_idx, p)
-        stage_entry = t.copy()
+        # Entry snapshot only when a trace was requested: the untraced hot
+        # path must not allocate per-stage (R, P) copies.
+        stage_entry = t.copy() if trace is not None else None
 
         participants = np.flatnonzero(stage.any(axis=1) | stage.any(axis=0))
         senders = np.flatnonzero(stage.any(axis=1))

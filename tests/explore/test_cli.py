@@ -30,12 +30,12 @@ def test_run_then_show_round_trip(spec_path, tmp_path, capsys):
     store = str(tmp_path / "campaigns")
     assert main(["run", spec_path, "--store-dir", store]) == 0
     out = capsys.readouterr().out
-    assert "2 points (2 evaluated, 0 cached" in out
+    assert "2 points (2 computed, 0 served from cache" in out
     assert "dissemination" in out
 
     assert main(["run", spec_path, "--store-dir", store]) == 0
     out = capsys.readouterr().out
-    assert "(0 evaluated, 2 cached" in out
+    assert "(0 computed, 2 served from cache" in out
     assert "hit rate 100%" in out
 
     assert main(["ls", "--store-dir", store]) == 0
@@ -86,7 +86,7 @@ def test_adapt_runs_within_budget_and_reports_best(spec_path, tmp_path,
     assert "best measured_s" in out
     # The adaptive store serves a later exhaustive run of the same spec.
     assert main(["run", spec_path, "--store-dir", store]) == 0
-    assert "1 evaluated, 1 cached" in capsys.readouterr().out
+    assert "1 computed, 1 served from cache" in capsys.readouterr().out
 
 
 def test_adapt_requires_an_objective(spec_path):

@@ -75,6 +75,25 @@ def test_perturbed_copy_fails_the_check(tmp_path, suite):
 
 @pytest.mark.tier2
 @pytest.mark.parametrize("suite", GOLDEN_SUITES)
+def test_suite_bit_identical_with_telemetry_on(tmp_path, suite):
+    """Telemetry must never perturb a result: a fresh regeneration with
+    telemetry enabled produces the byte-for-byte artifact of one without."""
+    from repro import obs
+    from repro.explore.suites import run_suite
+
+    off = run_suite(suite, store_dir=tmp_path / "off")
+    try:
+        obs.enable(tmp_path / "telemetry")
+        on = run_suite(suite, store_dir=tmp_path / "on")
+    finally:
+        obs.disable()
+    assert json.dumps(on.artifact(), sort_keys=True) == json.dumps(
+        off.artifact(), sort_keys=True
+    )
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("suite", GOLDEN_SUITES)
 def test_suite_check_regenerates_within_tolerance(tmp_path, suite):
     """Full regeneration (fresh store, no cache) reproduces the golden —
     the CLI path CI runs on every push."""

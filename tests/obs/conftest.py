@@ -1,0 +1,15 @@
+"""Isolation for telemetry tests: the module singleton and its activation
+environment variable are process-global, so every test starts and ends
+with telemetry off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolated(monkeypatch):
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    obs.disable()
+    yield
+    obs.disable()
