@@ -55,6 +55,24 @@ on the clean path (``noisy=False``) every replication of a batched run is
 bit-identical to it (hypothesis-tested); noisy ensembles agree
 distributionally (KS-checked) while individual draws land in a different
 stream order.
+
+Transfer-plan cache
+-------------------
+A BSP program's transfer *schedule* is deterministic: which process puts
+how many bytes where is fixed by the program, and only commit times and
+noise vary across supersteps and replications.  Repeated-schedule
+programs (the stencil family's iteration supersteps being the canonical
+case) therefore re-derive the same structural plan every superstep.  The
+runtime caches that plan — canonical ``(pid, sequence)`` record order,
+endpoint/byte arrays, clean wire-transit bases, NIC wire costs, and the
+remote masks the stable-argsort FIFO skeleton runs over — keyed by the
+superstep's per-process ``(kind, destination, nbytes)`` record structure,
+and replays it in both the scalar and the batched scheduler.  Replays are
+bit-identical to a fresh build (the cache stores only deterministic
+quantities and changes no draw order), enforced by
+``tests/bsplib/test_plan_cache.py``; disable with
+``bsp_run(..., plan_cache=False)``.  See ``docs/engine.md``,
+"Transfer-plan cache".
 """
 
 from __future__ import annotations
@@ -101,6 +119,35 @@ def _transfer_endpoints(kind: str, rec) -> tuple[int, int, int]:
 def _reply_endpoints(rec: GetRecord) -> tuple[int, int, int]:
     """Wire (source, destination, bytes) of one pass-2 get reply."""
     return rec.target_pid, rec.requester_pid, rec.nbytes + HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class _TransferPlan:
+    """The deterministic skeleton of one superstep's transfer schedule.
+
+    Everything here is a pure function of the superstep's record
+    *structure* (who sends what where) and the runtime's fixed ground
+    truth — commit times and noise are the only quantities that vary
+    across supersteps/replications, and they stay outside the plan.
+    Arrays are in canonical ``(pid, sequence)`` order; pass 2 covers the
+    get replies in the canonical order of their requesting gets.
+    """
+
+    src1: np.ndarray  # pass-1 wire sources (intp)
+    dst1: np.ndarray  # pass-1 wire destinations (intp)
+    base1: np.ndarray  # clean wire transits: latency + bytes/bandwidth
+    wire1: np.ndarray  # transmit-NIC occupancy: bytes/bandwidth
+    node_src1: np.ndarray  # source node per message
+    remote1: np.ndarray  # bool: crosses a node boundary
+    is_get: np.ndarray  # bool: pass-1 record is a get request header
+    src2: np.ndarray  # pass-2 (get reply) counterparts of the above
+    dst2: np.ndarray
+    base2: np.ndarray
+    wire2: np.ndarray
+    node_src2: np.ndarray
+    remote2: np.ndarray
+    messages: int  # total wire messages (pass 1 + pass 2)
+    payload_total: int  # total wire bytes (pass 1 + pass 2)
 
 
 @dataclass
@@ -265,6 +312,7 @@ class BSPRuntime:
         label: str = "bsp-run",
         noisy: bool = True,
         runs: int | None = None,
+        plan_cache: bool = True,
     ):
         self.machine = machine
         self.nprocs = require_int(nprocs, "nprocs")
@@ -295,6 +343,14 @@ class BSPRuntime:
         self._records: list[SuperstepRecord] = []
         self._sync_stages = sync_pattern(nprocs).stages
         self._sync_payloads = dissemination_payloads(nprocs)
+        self._nodes = np.array(
+            [self.placement.node_of(r) for r in range(nprocs)], dtype=np.intp
+        )
+        self._n_nodes = int(self._nodes.max()) + 1
+        # superstep shape -> _TransferPlan; the schedule of a repeated-
+        # schedule program is deterministic, so one structural build per
+        # distinct shape serves every later superstep and replication.
+        self._plan_cache: dict | None = {} if plan_cache else None
 
     # ------------------------------------------------------------- running
 
@@ -500,97 +556,142 @@ class BSPRuntime:
             return base
         return self._noise.sample(self._sync_rng, base)
 
-    def _schedule_transfers(self, entries: np.ndarray):
-        truth = self.truth
-        nodes = [self.placement.node_of(r) for r in range(self.nprocs)]
-        tx_free: dict[int, float] = {}
-        last_arrival = entries.copy()
-        messages = 0
-        payload_total = 0
+    def _canonical_outbound(self):
+        """Enumerate the superstep's outbound records in canonical
+        ``(pid, sequence)`` order, plus the structural cache key.
 
-        def ship(src: int, dst: int, nbytes: int, ready: float,
-                 transit: float) -> float:
-            """Schedule one transfer (pre-drawn noisy ``transit``);
-            returns its arrival time."""
-            nonlocal messages, payload_total
-            messages += 1
-            payload_total += nbytes
-            if nodes[src] != nodes[dst]:
-                free = tx_free.get(nodes[src], 0.0)
+        The key strips sequence numbers (they keep counting across
+        supersteps) and keeps the per-process ``(kind, destination,
+        nbytes)`` shape — exactly the inputs :class:`_TransferPlan` is a
+        function of; a ``None`` marker separates processes.
+        """
+        ordered: list[tuple[str, object]] = []
+        key: list = []
+        for state in self.states:
+            items = (
+                [(rec.header.sequence, "put", rec.dest_pid, rec)
+                 for rec in state.puts]
+                + [(rec.header.sequence, "send", rec.dest_pid, rec)
+                   for rec in state.sends]
+                + [(rec.header.sequence, "get", rec.target_pid, rec)
+                   for rec in state.gets]
+            )
+            items.sort(key=lambda item: item[0])  # sequences unique per pid
+            for _seq, kind, dst, rec in items:
+                ordered.append((kind, rec))
+                key.append((kind, dst, rec.nbytes))
+            key.append(None)
+        return ordered, tuple(key)
+
+    def _build_transfer_plan(self, ordered) -> _TransferPlan:
+        truth = self.truth
+        nodes = self._nodes
+
+        def pass_arrays(endpoints):
+            src = np.array([e[0] for e in endpoints], dtype=np.intp)
+            dst = np.array([e[1] for e in endpoints], dtype=np.intp)
+            nbytes = np.array([e[2] for e in endpoints], dtype=float)
+            wire = nbytes * truth.inv_bandwidth[src, dst]
+            base = truth.latency[src, dst] + wire
+            return src, dst, nbytes, base, wire
+
+        ends1 = [_transfer_endpoints(kind, rec) for kind, rec in ordered]
+        src1, dst1, nbytes1, base1, wire1 = pass_arrays(ends1)
+        gets = [rec for kind, rec in ordered if kind == "get"]
+        ends2 = [_reply_endpoints(rec) for rec in gets]
+        src2, dst2, nbytes2, base2, wire2 = pass_arrays(ends2)
+        return _TransferPlan(
+            src1=src1, dst1=dst1, base1=base1, wire1=wire1,
+            node_src1=nodes[src1], remote1=nodes[src1] != nodes[dst1],
+            is_get=np.array([kind == "get" for kind, _ in ordered]),
+            src2=src2, dst2=dst2, base2=base2, wire2=wire2,
+            node_src2=nodes[src2], remote2=nodes[src2] != nodes[dst2],
+            messages=len(ordered) + len(gets),
+            payload_total=int(nbytes1.sum()) + int(nbytes2.sum()),
+        )
+
+    def _transfer_plan(self):
+        """The superstep's canonical records and (possibly cached) plan."""
+        ordered, key = self._canonical_outbound()
+        if not ordered:
+            return None, ordered
+        if self._plan_cache is None:
+            return self._build_transfer_plan(ordered), ordered
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_transfer_plan(ordered)
+            self._plan_cache[key] = plan
+        return plan, ordered
+
+    def _schedule_transfers(self, entries: np.ndarray):
+        """Scalar transfer scheduler, replaying the cached plan.
+
+        Event semantics are unchanged from the pre-cache implementation:
+        pass 1 processes messages in ``(commit_time, pid, sequence)``
+        order — recovered here as a stable argsort of commit times over
+        the canonical order, since commit times ascend with sequence
+        within a process — and noise is drawn in that processing order,
+        so noisy streams are bit-identical to the un-cached scheduler.
+        """
+        truth = self.truth
+        last_arrival = entries.copy()
+        plan, ordered = self._transfer_plan()
+        if plan is None:
+            return last_arrival, 0, 0
+        tx_free: dict[int, float] = {}
+
+        def ship(k, remote, node_src, wire, ready, transit):
+            """Schedule canonical message ``k`` of one pass (pre-drawn
+            noisy ``transit``); returns its arrival time."""
+            if remote[k]:
+                node = int(node_src[k])
+                free = tx_free.get(node, 0.0)
                 wire_entry = max(ready, free)
-                tx_free[nodes[src]] = (
-                    wire_entry
-                    + truth.nic_gap
-                    + nbytes * truth.inv_bandwidth[src, dst]
-                )
+                tx_free[node] = wire_entry + truth.nic_gap + wire[k]
             else:
                 wire_entry = ready
             return wire_entry + transit + truth.recv_overhead
 
-        def clean_transit(src: int, dst: int, nbytes: int) -> float:
-            return float(
-                truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
-            )
-
         # Pass 1: puts, hpputs, sends, and get request headers, in global
         # deterministic commit order.
-        outbound = []
-        for state in self.states:
-            for rec in state.puts:
-                outbound.append(
-                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
-                     "put", rec)
-                )
-            for rec in state.sends:
-                outbound.append(
-                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
-                     "send", rec)
-                )
-            for rec in state.gets:
-                outbound.append(
-                    (rec.commit_time, rec.header.source_pid, rec.header.sequence,
-                     "get", rec)
-                )
-        outbound.sort(key=lambda item: (item[0], item[1], item[2]))
-        # Each pass builds one plan of (src, dst, nbytes, ready, rec)
-        # transfers; the bulk noise vector and the ship() calls both
-        # derive from it, so endpoint/size logic exists exactly once
-        # (shared with the batched scheduler via _transfer_endpoints).
-        pass1 = [
-            (*_transfer_endpoints(kind, rec), ready, rec)
-            for ready, _src, _seq, kind, rec in outbound
-        ]
-        transits1 = self._noisy_transits(np.array([
-            clean_transit(src, dst, nbytes)
-            for src, dst, nbytes, _ready, _rec in pass1
-        ]))
-
-        get_requests: list[tuple[float, GetRecord]] = []
-        for (src, dst, nbytes, ready, rec), transit in zip(pass1, transits1):
-            arrival = ship(src, dst, nbytes, ready, transit)
-            if isinstance(rec, GetRecord):  # request header: reply follows
-                get_requests.append((arrival, rec))
+        ready1 = np.array([rec.commit_time for _, rec in ordered])
+        order1 = np.argsort(ready1, kind="stable")
+        transits1 = self._noisy_transits(plan.base1[order1])
+        request_arrival = np.empty(len(ordered))
+        for pos in range(order1.size):
+            k = int(order1[pos])
+            arrival = ship(
+                k, plan.remote1, plan.node_src1, plan.wire1,
+                ready1[k], transits1[pos],
+            )
+            if plan.is_get[k]:  # request header: reply follows in pass 2
+                request_arrival[k] = arrival
             else:
-                last_arrival[dst] = max(last_arrival[dst], arrival)
+                d = int(plan.dst1[k])
+                last_arrival[d] = max(last_arrival[d], arrival)
 
         # Pass 2: get replies leave once the owner has both received the
         # request and finished its superstep computation (§6.2: the value
-        # transferred is the one at the end of the step).
-        pass2 = [
-            (*_reply_endpoints(rec),
-             max(request_arrival, entries[rec.target_pid]), rec)
-            for request_arrival, rec in sorted(
-                get_requests, key=lambda item: (item[0], item[1].requester_pid)
+        # transferred is the one at the end of the step); the NIC serves
+        # replies in (request arrival, requester) order.
+        if plan.src2.size:
+            req = request_arrival[plan.is_get]
+            ready2 = np.maximum(req, entries[plan.src2])
+            order2 = np.array(
+                sorted(range(req.size),
+                       key=lambda m: (req[m], int(plan.dst2[m]))),
+                dtype=np.intp,
             )
-        ]
-        transits2 = self._noisy_transits(np.array([
-            clean_transit(src, dst, nbytes)
-            for src, dst, nbytes, _ready, _rec in pass2
-        ]))
-        for (src, dst, nbytes, ready, _rec), transit in zip(pass2, transits2):
-            arrival = ship(src, dst, nbytes, ready, transit)
-            last_arrival[dst] = max(last_arrival[dst], arrival)
-        return last_arrival, messages, payload_total
+            transits2 = self._noisy_transits(plan.base2[order2])
+            for pos in range(order2.size):
+                m = int(order2[pos])
+                arrival = ship(
+                    m, plan.remote2, plan.node_src2, plan.wire2,
+                    ready2[m], transits2[pos],
+                )
+                d = int(plan.dst2[m])
+                last_arrival[d] = max(last_arrival[d], arrival)
+        return last_arrival, plan.messages, plan.payload_total
 
     def _schedule_transfers_batch(self, entries: np.ndarray):
         """Replication-batched counterpart of :meth:`_schedule_transfers`.
@@ -607,40 +708,41 @@ class BSPRuntime:
         """
         truth = self.truth
         runs = self.runs
-        nodes = np.array(
-            [self.placement.node_of(r) for r in range(self.nprocs)],
-            dtype=np.intp,
-        )
-        n_nodes = int(nodes.max()) + 1
-        rows = np.arange(runs)
-        tx_free = np.zeros((runs, n_nodes))
         last_arrival = entries.copy()
+        # Canonical commit order: (pid, sequence).  Unlike the scalar
+        # pass's (commit_time, pid, sequence) sort this is replication-
+        # invariant; per-process sequences are commit-ordered already, so
+        # a stable argsort by commit time recovers the scalar order
+        # inside every replication.
+        plan, ordered = self._transfer_plan()
+        if plan is None:
+            return last_arrival, 0, 0
+        rows = np.arange(runs)
+        tx_free = np.zeros((runs, self._n_nodes))
 
-        def draw_transits(src, dst, nbytes) -> np.ndarray:
+        def draw_transits(base) -> np.ndarray:
             """One ``(R, M)`` bulk transit draw in canonical order."""
-            base = truth.latency[src, dst] + nbytes * truth.inv_bandwidth[src, dst]
             if self._noise is None or base.size == 0:
                 return np.broadcast_to(base, (runs, base.size))
             return self._noise.sample_matrix(self._sync_rng, base, runs)
 
-        def ship_pass(src, dst, nbytes, ready, order_key) -> np.ndarray:
+        def ship_pass(src, dst, base, wire_all, node_src, remote_mask,
+                      ready, order_key) -> np.ndarray:
             """FIFO-schedule one pass; returns the ``(R, M)`` arrivals.
 
             ``order_key`` is the per-replication processing order of the
             shared transmit NICs (commit times in pass 1, request-header
             arrivals in pass 2, mirroring the scalar sort keys).
             """
-            transits = draw_transits(src, dst, nbytes)
+            transits = draw_transits(base)
             arrivals = ready + transits + truth.recv_overhead
-            remote = np.flatnonzero(nodes[src] != nodes[dst])
+            remote = np.flatnonzero(remote_mask)
             if remote.size:
                 # Association matches the scalar ship() expression
                 # (wire_entry + nic_gap) + nbytes * inv_bandwidth, so the
                 # clean path is bit-identical.
-                wire_cost = (
-                    nbytes[remote] * truth.inv_bandwidth[src[remote], dst[remote]]
-                )
-                src_node = nodes[src[remote]]
+                wire_cost = wire_all[remote]
+                src_node = node_src[remote]
                 order = np.argsort(order_key[:, remote], axis=1, kind="stable")
                 for k in range(remote.size):
                     m = order[:, k]
@@ -665,56 +767,30 @@ class BSPRuntime:
                     last_arrival[:, d], arrivals[:, sel].max(axis=1)
                 )
 
-        # Canonical commit order: (pid, sequence).  Unlike the scalar
-        # pass's (commit_time, pid, sequence) sort this is replication-
-        # invariant; per-process sequences are commit-ordered already, so
-        # a stable argsort by commit time recovers the scalar order
-        # inside every replication.
-        outbound = []
-        for state in self.states:
-            recs = (
-                [("put", rec) for rec in state.puts]
-                + [("send", rec) for rec in state.sends]
-                + [("get", rec) for rec in state.gets]
-            )
-            recs.sort(key=lambda item: item[1].header.sequence)
-            outbound.extend(recs)
-        if not outbound:
-            return last_arrival, 0, 0
-
-        ends1 = [_transfer_endpoints(kind, rec) for kind, rec in outbound]
-        src1 = np.array([e[0] for e in ends1], dtype=np.intp)
-        dst1 = np.array([e[1] for e in ends1], dtype=np.intp)
-        nbytes1 = np.array([e[2] for e in ends1], dtype=float)
         ready1 = np.stack(
-            [np.asarray(rec.commit_time, dtype=float) for _, rec in outbound],
+            [np.asarray(rec.commit_time, dtype=float) for _, rec in ordered],
             axis=-1,
         )
-        is_get = np.array([kind == "get" for kind, _ in outbound])
+        arrivals1 = ship_pass(
+            plan.src1, plan.dst1, plan.base1, plan.wire1, plan.node_src1,
+            plan.remote1, ready1, order_key=ready1,
+        )
+        fold_arrivals(plan.dst1, arrivals1, ~plan.is_get)
 
-        arrivals1 = ship_pass(src1, dst1, nbytes1, ready1, order_key=ready1)
-        fold_arrivals(dst1, arrivals1, ~is_get)
-        messages = len(outbound)
-        payload_total = int(nbytes1.sum())
-
-        gets = [rec for kind, rec in outbound if kind == "get"]
-        if gets:
+        if plan.src2.size:
             # Pass 2: replies leave once the owner has both received the
             # request header and finished its superstep computation; the
             # owner's NIC serves replies in request-arrival order.
-            request_arrivals = arrivals1[:, is_get]
-            ends2 = [_reply_endpoints(rec) for rec in gets]
-            src2 = np.array([e[0] for e in ends2], dtype=np.intp)
-            dst2 = np.array([e[1] for e in ends2], dtype=np.intp)
-            nbytes2 = np.array([e[2] for e in ends2], dtype=float)
-            ready2 = np.maximum(request_arrivals, entries[:, src2])
+            request_arrivals = arrivals1[:, plan.is_get]
+            ready2 = np.maximum(request_arrivals, entries[:, plan.src2])
             arrivals2 = ship_pass(
-                src2, dst2, nbytes2, ready2, order_key=request_arrivals
+                plan.src2, plan.dst2, plan.base2, plan.wire2, plan.node_src2,
+                plan.remote2, ready2, order_key=request_arrivals,
             )
-            fold_arrivals(dst2, arrivals2, np.ones(len(gets), dtype=bool))
-            messages += len(gets)
-            payload_total += int(nbytes2.sum())
-        return last_arrival, messages, payload_total
+            fold_arrivals(
+                plan.dst2, arrivals2, np.ones(plan.src2.size, dtype=bool)
+            )
+        return last_arrival, plan.messages, plan.payload_total
 
     # ------------------------------------------------------- data movement
 
@@ -798,6 +874,7 @@ def bsp_run(
     label: str = "bsp-run",
     noisy: bool = True,
     runs: int | None = None,
+    plan_cache: bool = True,
     **kwargs,
 ) -> BSPRunResult:
     """Convenience entry point: build a runtime and execute ``program``.
@@ -805,6 +882,9 @@ def bsp_run(
     ``runs=R`` executes all ``R`` noisy replications in one batched pass
     (see the module docstring); the returned result then carries
     ``(R, ...)`` time arrays and a per-replication ``run_seconds`` view.
+    ``plan_cache=False`` disables the per-superstep transfer-plan cache
+    (results are bit-identical either way; the flag exists for
+    benchmarking the cache itself).
     """
     runtime = BSPRuntime(
         machine,
@@ -814,5 +894,6 @@ def bsp_run(
         label=label,
         noisy=noisy,
         runs=runs,
+        plan_cache=plan_cache,
     )
     return runtime.run(program, *args, **kwargs)

@@ -538,14 +538,17 @@ def fabric_study(point: Mapping[str, Any]) -> dict:
 @register_experiment(
     "stencil-run",
     "one stencil implementation run (A-series): preset, impl, n, nprocs "
-    "[iterations, noisy, seed]",
+    "[iterations, noisy, runs, seed]",
 )
 def stencil_run(point: Mapping[str, Any]) -> dict:
+    import numpy as np
+
     from repro.stencil.experiments import run_strong_scaling
 
     machine = _machine_from_point(point)
     impl = str(point["impl"])
     nprocs = int(point["nprocs"])
+    runs = point.get("runs")
     result = run_strong_scaling(
         machine,
         [impl],
@@ -553,19 +556,30 @@ def stencil_run(point: Mapping[str, Any]) -> dict:
         (nprocs,),
         iterations=int(point.get("iterations", 6)),
         noisy=bool(point.get("noisy", True)),
+        runs=None if runs is None else int(runs),
     )[impl][nprocs]
-    return {
+    metrics = {
         "mean_iteration_s": result.mean_iteration,
         "total_s": result.total_seconds,
     }
+    # Ensemble fields only appear when runs is requested, so existing
+    # campaigns/goldens without the key stay byte-identical.
+    if runs is not None:
+        per_run = result.run_mean_iterations
+        metrics["ensemble_runs"] = int(runs)
+        metrics["ensemble_mean_iteration_s"] = float(per_run.mean())
+        metrics["ensemble_spread_iteration_s"] = float(np.std(per_run))
+    return metrics
 
 
 @register_experiment(
     "stencil-accuracy",
     "stencil per-iteration prediction vs measurement (B-series): preset, "
-    "impl, n, nprocs [iterations, comm_samples, seed]",
+    "impl, n, nprocs [iterations, comm_samples, runs, seed]",
 )
 def stencil_accuracy(point: Mapping[str, Any]) -> dict:
+    import numpy as np
+
     from repro.stencil import (
         decompose,
         predict_bsp_iteration,
@@ -592,12 +606,23 @@ def stencil_accuracy(point: Mapping[str, Any]) -> dict:
         block.interior_cells,
         2.0 * (block.height + 2) * (block.width + 2) * WORD,
     )
+    runs = point.get("runs")
+    if runs is not None and impl != "BSP":
+        raise ValueError(
+            f"runs is only supported for the BSP implementation; "
+            f"got runs={runs} with impl={impl!r}"
+        )
+    ensemble = None
     if impl == "BSP":
         predicted = predict_bsp_iteration(blocks, spc, params).per_iteration
-        measured = run_bsp_stencil(
+        result = run_bsp_stencil(
             machine, nprocs, n, iterations, execute_numerics=False,
             label=f"b-{impl}-{n}-{nprocs}",
-        ).mean_iteration
+            runs=None if runs is None else int(runs),
+        )
+        measured = result.mean_iteration
+        if runs is not None:
+            ensemble = result.run_mean_iterations
     elif impl == "MPI":
         predicted = predict_mpi_iteration(blocks, spc, params).per_iteration
         measured = run_mpi_stencil(
@@ -612,20 +637,27 @@ def stencil_accuracy(point: Mapping[str, Any]) -> dict:
         ).mean_iteration
     else:
         raise ValueError(f"unknown prediction implementation {impl!r}")
-    return {
+    metrics = {
         "predicted_s": predicted,
         "measured_s": measured,
         "ratio": predicted / measured,
     }
+    if ensemble is not None:
+        metrics["ensemble_runs"] = int(runs)
+        metrics["ensemble_mean_iteration_s"] = float(ensemble.mean())
+        metrics["ensemble_spread_iteration_s"] = float(np.std(ensemble))
+    return metrics
 
 
 @register_experiment(
     "halo-depth",
     "adapted-superstep prediction and charge-model measurement at one "
     "shadow-cell depth (Fig. 8.18): preset, nprocs, n, depth "
-    "[cycles, comm_samples, seed]",
+    "[cycles, comm_samples, runs, seed]",
 )
 def halo_depth(point: Mapping[str, Any]) -> dict:
+    import numpy as np
+
     from repro.stencil import (
         decompose,
         measure_halo_iteration,
@@ -647,14 +679,25 @@ def halo_depth(point: Mapping[str, Any]) -> dict:
         block.interior_cells,
         2.0 * (block.height + 2) * (block.width + 2) * WORD,
     )
-    return {
+    metrics = {
         "predicted_s": predict_halo_iteration(
             nprocs, n, depth, spc, params
         ).per_iteration,
-        "measured_s": measure_halo_iteration(
-            machine, nprocs, n, depth, cycles=int(point.get("cycles", 6))
-        ),
     }
+    runs = point.get("runs")
+    if runs is None:
+        metrics["measured_s"] = measure_halo_iteration(
+            machine, nprocs, n, depth, cycles=int(point.get("cycles", 6))
+        )
+    else:
+        ensemble = measure_halo_iteration(
+            machine, nprocs, n, depth, cycles=int(point.get("cycles", 6)),
+            runs=int(runs),
+        )
+        metrics["measured_s"] = float(ensemble.mean())
+        metrics["ensemble_runs"] = int(runs)
+        metrics["measured_spread_s"] = float(np.std(ensemble))
+    return metrics
 
 
 @register_experiment(

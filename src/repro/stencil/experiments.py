@@ -76,11 +76,22 @@ def run_strong_scaling(
     process_counts,
     iterations: int = 6,
     noisy: bool = True,
+    runs: int | None = None,
 ) -> dict[str, dict[int, StencilRunResult]]:
     """A-series harness: per-implementation strong-scaling sweeps.
 
     BSP runs charge-only here (its numerics are validated separately); all
-    implementations share the machine and problem."""
+    implementations share the machine and problem.  ``runs=R`` batches the
+    BSP sweeps as ``R``-replication ensembles (``iteration_seconds``
+    becomes ``(R, iterations)``); the MPI-family cost models have no
+    batched path, so requesting ``runs`` for them is an error rather
+    than a silent scalar fallback."""
+    if runs is not None and any(name != "BSP" for name in implementations):
+        others = [name for name in implementations if name != "BSP"]
+        raise ValueError(
+            f"runs is only supported for the BSP implementation; "
+            f"got runs={runs} with {others}"
+        )
     out: dict[str, dict[int, StencilRunResult]] = {}
     for name in implementations:
         runner = IMPLEMENTATIONS[name]
@@ -91,6 +102,7 @@ def run_strong_scaling(
                     machine, nprocs, n, iterations,
                     execute_numerics=False, noisy=noisy,
                     label=f"a-series-{nprocs}-{n}",
+                    runs=runs,
                 )
             else:
                 per_count[nprocs] = runner(machine, nprocs, n, iterations,

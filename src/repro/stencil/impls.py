@@ -43,7 +43,13 @@ THREAD_BARRIER_BASE = 2.0e-6  # per-iteration node-internal thread fence [s]
 
 @dataclass(frozen=True)
 class StencilRunResult:
-    """Timing (and optionally field data) of one stencil run."""
+    """Timing (and optionally field data) of one stencil run.
+
+    ``iteration_seconds`` is ``(iterations,)`` for a scalar run and
+    ``(R, iterations)`` for a replication-batched run
+    (``run_bsp_stencil(..., runs=R)``); ``total_seconds`` is then the
+    ensemble mean of per-replication wall times.
+    """
 
     name: str
     nprocs: int
@@ -52,6 +58,19 @@ class StencilRunResult:
     iteration_seconds: np.ndarray  # global duration per iteration
     total_seconds: float
     field: np.ndarray | None = None  # assembled global grid (BSP only)
+
+    @property
+    def runs(self) -> int | None:
+        """Replication count, or ``None`` for a scalar run."""
+        if self.iteration_seconds.ndim == 1:
+            return None
+        return int(self.iteration_seconds.shape[0])
+
+    @property
+    def run_mean_iterations(self) -> np.ndarray:
+        """Per-replication mean iteration seconds: ``(R,)`` (``(1,)`` for
+        a scalar run)."""
+        return np.atleast_2d(self.iteration_seconds).mean(axis=1)
 
     @property
     def mean_iteration(self) -> float:
@@ -75,8 +94,18 @@ def run_bsp_stencil(
     noisy: bool = True,
     initial=None,
     label: str = "bsp-stencil",
+    runs: int | None = None,
 ) -> StencilRunResult:
-    """The BSPlib implementation (§8.3.1) on the simulated platform."""
+    """The BSPlib implementation (§8.3.1) on the simulated platform.
+
+    ``runs=R`` executes all ``R`` noisy replications in one batched
+    ``bsp_run`` pass (the grid numerics run once — data movement is
+    noise-independent): ``iteration_seconds`` becomes ``(R, iterations)``
+    and ``total_seconds`` the ensemble mean of per-replication wall
+    times.  The scalar path (``runs=None``) is unchanged and serves as
+    the behavioural oracle (clean path bit-identical per replication,
+    noisy ensembles KS-equivalent; ``tests/stencil/test_stencil_batch.py``).
+    """
     require_int(iterations, "iterations")
     blocks = decompose(n, nprocs)
     if min(b.height for b in blocks) < 3 or min(b.width for b in blocks) < 3:
@@ -155,13 +184,32 @@ def run_bsp_stencil(
             u, u_new = u_new, u
         return u[1 : h + 1, 1 : w + 1].copy() if execute_numerics else None
 
-    result = bsp_run(machine, nprocs, program, label=label, noisy=noisy)
+    result = bsp_run(
+        machine, nprocs, program, label=label, noisy=noisy, runs=runs
+    )
     # Supersteps: registration, initial border exchange, then iterations.
-    step_ends = np.array([rec.exit_times.max() for rec in result.supersteps])
+    # The per-iteration extraction below slices the last ``iterations``
+    # superstep durations, so the superstep count must match exactly —
+    # a program change that adds or removes a setup superstep would
+    # otherwise silently mis-attribute setup cost to an iteration.
+    expected_supersteps = 2 + iterations
+    if result.superstep_count != expected_supersteps:
+        raise RuntimeError(
+            f"BSP stencil program produced {result.superstep_count} "
+            f"supersteps but per-iteration extraction expects "
+            f"{expected_supersteps} (registration + initial border "
+            f"exchange + {iterations} iterations); update the extraction "
+            f"to match the program's superstep structure"
+        )
+    # exit_times is (P,) per superstep for a scalar run and (R, P) for a
+    # batched one; step_ends is then (S,) or (R, S) with supersteps last.
+    step_ends = np.stack(
+        [rec.exit_times.max(axis=-1) for rec in result.supersteps], axis=-1
+    )
     if iterations:
-        iteration_seconds = np.diff(step_ends)[-iterations:]
+        iteration_seconds = np.diff(step_ends, axis=-1)[..., -iterations:]
     else:
-        iteration_seconds = np.array([])
+        iteration_seconds = np.zeros(step_ends.shape[:-1] + (0,))
 
     field = None
     if execute_numerics:

@@ -22,7 +22,7 @@ from repro.barriers.cost_model import CommParameters
 from repro.bsplib.sync_model import predict_sync_cost
 from repro.kernels.numeric import STENCIL5
 from repro.machine.simmachine import SimMachine
-from repro.simmpi.engine import simulate_stages
+from repro.simmpi.engine import simulate_stages, simulate_stages_batch
 from repro.stencil.grid import decompose
 from repro.stencil.impls import WORD, _exchange_stages
 from repro.util.validation import require_int, require_positive
@@ -103,10 +103,22 @@ def measure_halo_iteration(
     depth: int,
     cycles: int = 6,
     noisy: bool = True,
-) -> float:
+    runs: int | None = None,
+) -> float | np.ndarray:
     """Charge-model execution of the deep-halo scheme: per cycle, sweep the
     widening bands, exchange depth-wide borders with overlap, and run the
-    payload sync.  Returns mean seconds per *iteration* (sweep)."""
+    payload sync.  Returns mean seconds per *iteration* (sweep).
+
+    With ``runs=R`` all ``R`` noisy replications execute in one batched
+    pass and the return value is the ``(R,)`` vector of per-replication
+    means.  Draw order per cycle (the "Stencil draws" contract in
+    ``docs/engine.md``): one bulk replication-major ``(R, nprocs, depth)``
+    sweep draw, then the exchange stages through
+    :func:`simulate_stages_batch`, then the dissemination sync.  The
+    scalar path (``runs=None``) is the behavioural oracle: the clean
+    batched path is bit-identical to it per replication, the noisy
+    ensembles are KS-equivalent (``tests/stencil/test_stencil_batch.py``).
+    """
     depth = require_int(depth, "depth")
     require_int(cycles, "cycles")
     blocks = decompose(n, nprocs)
@@ -136,11 +148,43 @@ def measure_halo_iteration(
         ]
         for rank, block in enumerate(blocks)
     ])
+    if runs is not None:
+        runs = require_int(runs, "runs")
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        clock = np.zeros((runs, nprocs))
+        for _ in range(cycles):
+            # One replication-major bulk draw covers every (run, rank,
+            # sweep) of the cycle.
+            if rng is not None:
+                sweeps = noise.sample_matrix(rng, sweep_clean, runs=runs)
+            else:
+                sweeps = np.broadcast_to(
+                    sweep_clean, (runs, *sweep_clean.shape)
+                )
+            first = sweeps[..., 0]
+            rest = sweeps[..., 1:].sum(axis=-1)
+            comm_entry = clock + first
+            exits_comm = simulate_stages_batch(
+                truth, stages, runs=runs, payload_bytes=payloads,
+                rng=rng, noise=noise, entry_times=comm_entry,
+            )
+            body_end = np.maximum(comm_entry + rest, exits_comm)
+            if nprocs > 1:
+                clock = simulate_stages_batch(
+                    truth, sync_stages, runs=runs,
+                    payload_bytes=sync_payloads,
+                    rng=rng, noise=noise, entry_times=body_end,
+                )
+            else:
+                clock = body_end
+        return clock.max(axis=-1) / (cycles * depth)
+
     clock = np.zeros(nprocs)
     for _ in range(cycles):
         # First sweep (widest band) happens before communication commits.
         if rng is not None:
-            sweeps = machine.noise.sample(rng, sweep_clean)
+            sweeps = noise.sample(rng, sweep_clean)
         else:
             sweeps = sweep_clean
         first = sweeps[:, 0]
@@ -177,17 +221,24 @@ def optimize_halo_depth(
     params: CommParameters,
     cycles: int = 6,
     noisy: bool = True,
+    runs: int | None = None,
 ) -> tuple[int, list[HaloSweepPoint]]:
     """Sweep halo depths, returning the model's chosen depth and the
-    predicted/measured series of Fig. 8.18 (C1)."""
+    predicted/measured series of Fig. 8.18 (C1).
+
+    With ``runs=R`` each depth is measured as a batched ``R``-replication
+    ensemble and ``measured`` is the ensemble mean."""
     points = []
     for depth in depths:
         predicted = predict_halo_iteration(
             nprocs, n, depth, sec_per_cell, params
         ).per_iteration
         measured = measure_halo_iteration(
-            machine, nprocs, n, depth, cycles=cycles, noisy=noisy
+            machine, nprocs, n, depth, cycles=cycles, noisy=noisy,
+            runs=runs,
         )
+        if runs is not None:
+            measured = float(np.asarray(measured).mean())
         points.append(HaloSweepPoint(depth=depth, predicted=predicted,
                                      measured=measured))
     chosen = min(points, key=lambda pt: pt.predicted).depth

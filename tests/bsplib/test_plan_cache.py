@@ -1,0 +1,124 @@
+"""The per-superstep transfer-plan cache (docs/engine.md,
+"Transfer-plan cache").
+
+A BSP program's transfer schedule is deterministic — only noise varies
+across supersteps and replications — so the canonical ``(pid, sequence)``
+plan (endpoint arrays, clean transit bases, stable-argsort skeleton) is
+built once per distinct superstep shape and replayed.  The cache must be
+*invisible*: every scheduled time with the cache on is bit-identical to
+the cache-off build-per-superstep path, for the scalar and batched
+schedulers, clean and noisy alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsplib import bsp_run
+from repro.bsplib.runtime import BSPRuntime
+from repro.cluster import presets
+from repro.kernels import DAXPY
+from repro.machine import SimMachine
+
+from .test_runtime_batch import RECORD_FIELDS, make_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=77
+    )
+
+
+def assert_identical_runs(a, b):
+    assert a.final_times.tolist() == b.final_times.tolist()
+    assert a.return_values == b.return_values
+    assert a.superstep_count == b.superstep_count
+    for rec_a, rec_b in zip(a.supersteps, b.supersteps):
+        assert rec_a.messages == rec_b.messages
+        assert rec_a.payload_bytes == rec_b.payload_bytes
+        for name in RECORD_FIELDS:
+            assert getattr(rec_a, name).tolist() == \
+                getattr(rec_b, name).tolist(), name
+
+
+class TestCacheInvisibility:
+    @pytest.mark.parametrize("noisy", [True, False])
+    def test_scalar_bit_identity(self, machine, noisy):
+        program = make_program(8, 4, True, True, reps=2)
+        on = bsp_run(machine, 6, program, label="pc", noisy=noisy)
+        off = bsp_run(machine, 6, program, label="pc", noisy=noisy,
+                      plan_cache=False)
+        assert_identical_runs(on, off)
+
+    @pytest.mark.parametrize("noisy", [True, False])
+    def test_batch_bit_identity(self, machine, noisy):
+        program = make_program(8, 4, True, True, reps=2)
+        on = bsp_run(machine, 6, program, label="pc", noisy=noisy, runs=5)
+        off = bsp_run(machine, 6, program, label="pc", noisy=noisy, runs=5,
+                      plan_cache=False)
+        assert_identical_runs(on, off)
+
+    def test_mixed_shape_program(self, machine):
+        """Supersteps with different communication shapes get distinct
+        plans; repeating shapes replay cached ones."""
+
+        def program(ctx):
+            p, pid = ctx.nprocs, ctx.pid
+            window = np.zeros(64 * p)
+            ctx.push_reg(window)
+            ctx.sync()
+            src = np.arange(16, dtype=float)
+            for step in range(6):
+                ctx.charge_kernel(DAXPY, 512)
+                # Alternate between two shapes: puts-only and puts+gets.
+                ctx.put((pid + 1) % p, src, window, offset=16 * pid)
+                if step % 2:
+                    scratch = np.zeros(8)
+                    ctx.get((pid + 2) % p, window, 0, scratch, nelems=8)
+                ctx.sync()
+
+        on = bsp_run(machine, 4, program, label="mixed")
+        off = bsp_run(machine, 4, program, label="mixed", plan_cache=False)
+        assert_identical_runs(on, off)
+
+
+class TestCachePopulation:
+    def test_repeated_shape_builds_one_plan(self, machine):
+        def program(ctx):
+            p, pid = ctx.nprocs, ctx.pid
+            window = np.zeros(16 * p)
+            ctx.push_reg(window)
+            ctx.sync()
+            src = np.arange(16, dtype=float)
+            for _ in range(5):
+                ctx.put((pid + 1) % p, src, window, offset=16 * pid)
+                ctx.sync()
+
+        runtime = BSPRuntime(machine, 4, label="count")
+        runtime.run(program)
+        # The 5 identical data supersteps must collapse onto one entry
+        # (the registration superstep has no outbound records and makes
+        # no entry at all).
+        assert runtime._plan_cache is not None
+        assert len(runtime._plan_cache) == 1
+
+    def test_distinct_shapes_get_distinct_plans(self, machine):
+        def program(ctx):
+            p, pid = ctx.nprocs, ctx.pid
+            window = np.zeros(64 * p)
+            ctx.push_reg(window)
+            ctx.sync()
+            for nelems in (4, 8, 4):
+                src = np.arange(nelems, dtype=float)
+                ctx.put((pid + 1) % p, src, window, offset=0)
+                ctx.sync()
+
+        runtime = BSPRuntime(machine, 4, label="shapes")
+        runtime.run(program)
+        assert len(runtime._plan_cache) == 2
+
+    def test_cache_disabled(self, machine):
+        program = make_program(4, 2, False, False, reps=1)
+        runtime = BSPRuntime(machine, 4, label="off", plan_cache=False)
+        runtime.run(program)
+        assert runtime._plan_cache is None

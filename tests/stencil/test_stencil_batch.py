@@ -1,0 +1,242 @@
+"""Batched stencil runs axis vs the scalar paths: identity and distribution.
+
+The contract under test (docs/engine.md, "Stencil draws"):
+
+* clean path (``noisy=False``): every replication of
+  ``run_bsp_stencil(..., runs=R)`` and ``measure_halo_iteration(...,
+  runs=R)`` is *bit-identical* to the scalar path — same floating-point
+  operations per replication across grid sizes, process counts and halo
+  depths;
+* noisy path: the replication-major bulk draws produce different
+  individual replications but statistically equivalent ensembles (the
+  batched draw order differs from looping the scalar path, so streams
+  are compared distributionally, not bitwise);
+* the grid numerics are noise-independent: a batched ``run_bsp_stencil``
+  assembles exactly the scalar run's field.
+
+Mirrors ``tests/bsplib/test_runtime_batch.py`` one layer up the stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import presets
+from repro.machine import SimMachine
+from repro.stencil import measure_halo_iteration, run_bsp_stencil
+from repro.stencil.experiments import run_strong_scaling
+
+
+def make_machine(seed=77):
+    return SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return make_machine()
+
+
+class TestStencilCleanBitIdentity:
+    @given(
+        nprocs=st.sampled_from([1, 2, 4, 6]),
+        n=st.sampled_from([12, 16, 24, 32]),
+        iterations=st.integers(1, 3),
+        runs=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, nprocs, n, iterations, runs):
+        machine = make_machine(seed=7)
+        ref = run_bsp_stencil(
+            machine, nprocs, n, iterations, execute_numerics=False,
+            noisy=False,
+        )
+        bat = run_bsp_stencil(
+            machine, nprocs, n, iterations, execute_numerics=False,
+            noisy=False, runs=runs,
+        )
+        assert bat.iteration_seconds.shape == (runs, iterations)
+        for r in range(runs):
+            assert (
+                bat.iteration_seconds[r].tolist()
+                == ref.iteration_seconds.tolist()
+            )
+        # total_seconds is the ensemble mean, so the mean of R identical
+        # replications may differ from the scalar value by one ulp.
+        assert bat.total_seconds == pytest.approx(ref.total_seconds, rel=1e-12)
+
+    def test_numerics_match_scalar(self, machine):
+        ref = run_bsp_stencil(machine, 4, 16, 2, noisy=False)
+        bat = run_bsp_stencil(machine, 4, 16, 2, noisy=False, runs=3)
+        assert bat.field is not None
+        assert bat.field.tolist() == ref.field.tolist()
+
+    def test_result_properties(self, machine):
+        scalar = run_bsp_stencil(
+            machine, 4, 16, 3, execute_numerics=False, noisy=False
+        )
+        assert scalar.runs is None
+        assert scalar.run_mean_iterations.shape == (1,)
+        batch = run_bsp_stencil(
+            machine, 4, 16, 3, execute_numerics=False, noisy=False, runs=5
+        )
+        assert batch.runs == 5
+        assert batch.run_mean_iterations.shape == (5,)
+        assert batch.run_mean_iterations[0] == pytest.approx(
+            batch.iteration_seconds[0].mean()
+        )
+
+
+class TestHaloCleanBitIdentity:
+    @given(
+        nprocs=st.sampled_from([1, 2, 4, 6]),
+        n=st.sampled_from([24, 32, 48]),
+        depth=st.integers(1, 3),
+        runs=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, nprocs, n, depth, runs):
+        machine = make_machine(seed=7)
+        ref = measure_halo_iteration(
+            machine, nprocs, n, depth, cycles=3, noisy=False
+        )
+        bat = measure_halo_iteration(
+            machine, nprocs, n, depth, cycles=3, noisy=False, runs=runs
+        )
+        assert isinstance(ref, float)
+        assert bat.shape == (runs,)
+        for r in range(runs):
+            assert bat[r] == ref
+
+    def test_runs_validated(self, machine):
+        with pytest.raises(ValueError, match="runs"):
+            measure_halo_iteration(machine, 4, 32, 2, runs=0)
+
+
+class TestNoisyDistribution:
+    def test_stencil_ensemble_agrees_with_looped_scalar(self):
+        """Two-sample KS between a batched ensemble and independent scalar
+        runs (per-run distinct labels select independent streams of the
+        same distribution)."""
+        machine = make_machine(seed=5)
+        runs = 200
+        batch = run_bsp_stencil(
+            machine, 6, 32, 2, execute_numerics=False, label="ks-batch",
+            runs=runs,
+        ).run_mean_iterations
+        loop = np.array([
+            run_bsp_stencil(
+                machine, 6, 32, 2, execute_numerics=False,
+                label=f"ks-loop-{r}",
+            ).mean_iteration
+            for r in range(runs)
+        ])
+        # 1% two-sample KS critical value for n = m = 200 is ~0.163.
+        grid = np.sort(np.concatenate([batch, loop]))
+        ks = np.abs(
+            np.searchsorted(np.sort(batch), grid, side="right") / runs
+            - np.searchsorted(np.sort(loop), grid, side="right") / runs
+        ).max()
+        assert ks < 0.163, f"KS={ks:.3f}"
+        assert np.median(batch) == pytest.approx(np.median(loop), rel=0.05)
+
+    def test_halo_ensemble_agrees_with_looped_scalar(self):
+        """measure_halo_iteration derives its stream from the machine seed
+        and the (nprocs, n, depth) key, so the independent scalar ensemble
+        varies the machine seed instead of a label."""
+        runs = 200
+        batch = measure_halo_iteration(
+            make_machine(seed=5), 6, 48, 2, cycles=3, runs=runs
+        )
+        loop = np.array([
+            measure_halo_iteration(
+                make_machine(seed=1000 + r), 6, 48, 2, cycles=3
+            )
+            for r in range(runs)
+        ])
+        grid = np.sort(np.concatenate([batch, loop]))
+        ks = np.abs(
+            np.searchsorted(np.sort(batch), grid, side="right") / runs
+            - np.searchsorted(np.sort(loop), grid, side="right") / runs
+        ).max()
+        assert ks < 0.163, f"KS={ks:.3f}"
+        assert np.median(batch) == pytest.approx(np.median(loop), rel=0.05)
+
+    def test_batch_reproducible_and_rows_vary(self, machine):
+        a = run_bsp_stencil(
+            machine, 4, 24, 2, execute_numerics=False, label="rep", runs=16
+        )
+        b = run_bsp_stencil(
+            machine, 4, 24, 2, execute_numerics=False, label="rep", runs=16
+        )
+        assert a.iteration_seconds.tolist() == b.iteration_seconds.tolist()
+        assert np.unique(a.run_mean_iterations).size > 1
+        ha = measure_halo_iteration(machine, 4, 32, 2, cycles=3, runs=16)
+        hb = measure_halo_iteration(machine, 4, 32, 2, cycles=3, runs=16)
+        assert ha.tolist() == hb.tolist()
+        assert np.unique(ha).size > 1
+
+
+class TestSuperstepValidation:
+    def test_superstep_mismatch_raises(self, machine, monkeypatch):
+        """If the program's superstep structure drifts from the
+        registration + initial exchange + iterations shape, extraction
+        must fail loudly instead of silently mis-slicing."""
+        import repro.stencil.impls as impls
+
+        real_bsp_run = impls.bsp_run
+
+        def drop_one_superstep(*args, **kwargs):
+            result = real_bsp_run(*args, **kwargs)
+            return type(result)(
+                nprocs=result.nprocs,
+                supersteps=result.supersteps[:-1],
+                return_values=result.return_values,
+                final_times=result.final_times,
+            )
+
+        monkeypatch.setattr(impls, "bsp_run", drop_one_superstep)
+        with pytest.raises(RuntimeError, match="supersteps"):
+            run_bsp_stencil(
+                machine, 4, 16, 2, execute_numerics=False, noisy=False
+            )
+
+
+class TestExperimentHarness:
+    def test_strong_scaling_runs_axis(self, machine):
+        out = run_strong_scaling(
+            machine, ["BSP"], 24, (2, 4), iterations=2, noisy=True, runs=3
+        )
+        for nprocs in (2, 4):
+            assert out["BSP"][nprocs].iteration_seconds.shape == (3, 2)
+
+    def test_strong_scaling_rejects_non_bsp_runs(self, machine):
+        with pytest.raises(ValueError, match="BSP"):
+            run_strong_scaling(
+                machine, ["BSP", "MPI"], 24, (2,), iterations=2, runs=3
+            )
+
+    def test_optimizer_runs_axis(self, machine):
+        from repro.bench.comm_bench import benchmark_comm
+        from repro.stencil import stencil_sec_per_cell
+        from repro.stencil.grid import decompose
+        from repro.stencil.impls import WORD
+        from repro.stencil.optimizer import optimize_halo_depth
+
+        placement = machine.placement(4)
+        params = benchmark_comm(
+            machine, placement, samples=3, sizes=(8, 4096)
+        ).params
+        block = decompose(32, 4)[0]
+        spc = stencil_sec_per_cell(
+            machine, placement.core_of(0), block.interior_cells,
+            2.0 * (block.height + 2) * (block.width + 2) * WORD,
+        )
+        chosen, points = optimize_halo_depth(
+            machine, 4, 32, (1, 2), spc, params, cycles=3, runs=4
+        )
+        assert chosen in (1, 2)
+        for pt in points:
+            assert isinstance(pt.measured, float)
