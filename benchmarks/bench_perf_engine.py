@@ -72,9 +72,19 @@ Schema of ``BENCH_engine.json`` (``repro-bench-engine/v2``)::
           "disabled_s": float,    # measure_barrier, telemetry off
           "enabled_s": float,     # same call, telemetry recording
           "overhead_pct": float   # 100 * (enabled - disabled)/disabled
-        }                         # target: < 5 on the full configuration
+        },                        # target: < 5 on the full configuration
+        "critpath_overhead": {
+          "pattern": str, "nprocs": int, "runs": int, "repeats": int,
+          "disabled_s": float,    # measure_barrier, no provenance
+          "enabled_s": float,     # same call, provenance recording on
+          "overhead_pct": float   # 100 * (enabled - disabled)/disabled
+        }                         # untraced path asserted bit-identical
       }
     }
+
+``benchmarks/compare_bench.py`` diffs the ratio metrics of two artifacts
+(committed baseline vs fresh run) and emits non-gating warnings on
+regressions past a threshold; CI runs it after the perf smoke.
 
 All timings are wall-clock ``time.perf_counter`` seconds.  The headline
 acceptance numbers are ``engine_batch_vs_reference.speedup`` (>= 10,
@@ -528,6 +538,60 @@ def bench_telemetry_overhead(quick: bool) -> dict:
     }
 
 
+def bench_critpath_overhead(quick: bool) -> dict:
+    """measure_barrier with event-provenance recording vs without.
+
+    Provenance capture must be strictly opt-in: the untraced call's
+    results are asserted bit-identical first (recording draws no
+    randomness), then ABAB-median timing isolates the cost of the
+    capture bookkeeping itself.
+    """
+    import statistics
+
+    from repro.barriers.patterns import dissemination_barrier
+    from repro.barriers.simulate import measure_barrier
+    from repro.cluster.presets import make_preset_machine
+    from repro.obs.provenance import EngineProvenance
+
+    nprocs, runs, repeats = (32, 64, 10) if quick else (64, 256, 30)
+    machine = make_preset_machine("xeon-8x2x4")
+    pattern = dissemination_barrier(nprocs)
+    placement = machine.placement(nprocs)
+
+    base = measure_barrier(machine, pattern, placement, runs=runs)
+    traced = measure_barrier(
+        machine, pattern, placement, runs=runs,
+        provenance=EngineProvenance(),
+    )
+    assert base.per_run_worst.tolist() == traced.per_run_worst.tolist(), (
+        "provenance recording changed simulated results"
+    )
+
+    def run_once(provenance):
+        start = time.perf_counter()
+        measure_barrier(
+            machine, pattern, placement, runs=runs, provenance=provenance
+        )
+        return time.perf_counter() - start
+
+    disabled, enabled = [], []
+    run_once(None)  # warm-up
+    for _ in range(repeats):
+        disabled.append(run_once(None))
+        enabled.append(run_once(EngineProvenance()))
+    disabled_s = statistics.median(disabled)
+    enabled_s = statistics.median(enabled)
+    return {
+        "pattern": "dissemination",
+        "nprocs": nprocs,
+        "runs": runs,
+        "repeats": repeats,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": 100.0 * (enabled_s - disabled_s) / disabled_s,
+    }
+
+
 def run_all(quick: bool) -> dict:
     return {
         "schema": "repro-bench-engine/v2",
@@ -543,6 +607,7 @@ def run_all(quick: bool) -> dict:
             "campaign_end_to_end": bench_campaign(quick),
             "profile_cache": bench_profile_cache(quick),
             "telemetry_overhead": bench_telemetry_overhead(quick),
+            "critpath_overhead": bench_critpath_overhead(quick),
         },
     }
 
@@ -630,6 +695,15 @@ def test_perf_engine_quick(emit, tmp_path):
     # The quick sizing is noisy; the < 5% acceptance bound is asserted on
     # the full configuration when BENCH_engine.json is regenerated.
     assert tele["overhead_pct"] < 25.0
+    crit = artifact["cases"]["critpath_overhead"]
+    emit(
+        f"critpath provenance overhead (quick): "
+        f"{crit['overhead_pct']:.1f}% (disabled {crit['disabled_s']:.4f}s, "
+        f"enabled {crit['enabled_s']:.4f}s)"
+    )
+    # Capture stores references to arrays the engine computes anyway, so
+    # even the quick sizing should stay well under 2x.
+    assert crit["overhead_pct"] < 100.0
 
 
 if __name__ == "__main__":

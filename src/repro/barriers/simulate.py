@@ -47,8 +47,15 @@ def measure_barrier(
     runs: int = 64,
     payload_bytes=None,
     stream: str = "barrier-measure",
+    provenance=None,
 ) -> BarrierTiming:
-    """Run the measured-timing protocol for one pattern and placement."""
+    """Run the measured-timing protocol for one pattern and placement.
+
+    ``provenance`` (an :class:`repro.obs.provenance.EngineProvenance`)
+    opts into event-provenance recording for critical-path extraction;
+    the rng stream is deterministic in ``(stream, pattern, runs)``, so a
+    provenance-enabled re-measure draws the exact noise of the original.
+    """
     runs = require_int(runs, "runs")
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -69,6 +76,7 @@ def measure_barrier(
         payload_bytes=payload_bytes,
         rng=rng,
         noise=machine.noise,
+        provenance=provenance,
     )
     worst = exits.max(axis=1) if exits.shape[1] else np.zeros(runs)
     return BarrierTiming(

@@ -100,6 +100,12 @@ from repro.bsplib.sync_model import dissemination_payloads, sync_pattern
 from repro.machine.clock import BatchClock, VirtualClock
 from repro.machine.simmachine import CommTruth, SimMachine
 from repro.obs import current as _telemetry
+from repro.obs.provenance import (
+    BSPProvenance,
+    EngineProvenance,
+    SuperstepProvenance,
+    TransferPassProvenance,
+)
 from repro.simmpi.engine import simulate_stages, simulate_stages_batch
 from repro.util.validation import require_int, require_nonnegative
 
@@ -193,6 +199,7 @@ class BSPRunResult:
     return_values: list
     supersteps: list[SuperstepRecord]
     final_times: np.ndarray
+    provenance: BSPProvenance | None = None
 
     @property
     def runs(self) -> int | None:
@@ -313,6 +320,7 @@ class BSPRuntime:
         noisy: bool = True,
         runs: int | None = None,
         plan_cache: bool = True,
+        provenance: bool = False,
     ):
         self.machine = machine
         self.nprocs = require_int(nprocs, "nprocs")
@@ -351,6 +359,21 @@ class BSPRuntime:
         # schedule program is deterministic, so one structural build per
         # distinct shape serves every later superstep and replication.
         self._plan_cache: dict | None = {} if plan_cache else None
+        # Event provenance (repro.obs.provenance) is strictly opt-in:
+        # recording stores the arrays the schedulers compute anyway plus
+        # FIFO predecessor links, draws no randomness, and never changes
+        # a clock.
+        self.provenance: BSPProvenance | None = (
+            BSPProvenance(
+                nprocs=self.nprocs,
+                runs=1 if runs is None else int(runs),
+                scalar=runs is None,
+                nic_gap=float(self.truth.nic_gap),
+                recv_overhead=float(self.truth.recv_overhead),
+            )
+            if provenance
+            else None
+        )
 
     # ------------------------------------------------------------- running
 
@@ -417,15 +440,19 @@ class BSPRuntime:
             t.join()
         if errors or self._collective.failure is not None:
             raise errors[0] if errors else self._collective.failure
+        final_times = np.stack(
+            [np.asarray(state.clock.now, dtype=float)
+             for state in self.states],
+            axis=-1,
+        )
+        if self.provenance is not None:
+            self.provenance.final_times = np.atleast_2d(final_times)
         return BSPRunResult(
             nprocs=self.nprocs,
             return_values=[state.return_value for state in self.states],
             supersteps=self._records,
-            final_times=np.stack(
-                [np.asarray(state.clock.now, dtype=float)
-                 for state in self.states],
-                axis=-1,
-            ),
+            final_times=final_times,
+            provenance=self.provenance,
         )
 
     # --------------------------------------------------- superstep resolve
@@ -446,16 +473,31 @@ class BSPRuntime:
         self._commit_registrations()
         self._commit_tag_sizes()
 
+        ss_prov: SuperstepProvenance | None = None
+        if self.provenance is not None:
+            prev = (
+                self._records[-1].exit_times
+                if self._records
+                else np.zeros_like(entries)
+            )
+            ss_prov = SuperstepProvenance(
+                index=self._superstep,
+                prev_exit=np.atleast_2d(prev),
+                entries=np.atleast_2d(entries),
+            )
+            self.provenance.supersteps.append(ss_prov)
+
         last_arrival = entries.copy()
         messages = 0
         payload_total = 0
         if p > 1:
             last_arrival, messages, payload_total = (
-                self._schedule_transfers_batch(entries) if batched
-                else self._schedule_transfers(entries)
+                self._schedule_transfers_batch(entries, ss_prov) if batched
+                else self._schedule_transfers(entries, ss_prov)
             )
 
         if p > 1:
+            sync_prov = None if ss_prov is None else EngineProvenance()
             if batched:
                 sync_exit = simulate_stages_batch(
                     self.truth,
@@ -465,6 +507,7 @@ class BSPRuntime:
                     rng=self._sync_rng if self.noisy else None,
                     noise=self._noise,
                     entry_times=entries,
+                    provenance=sync_prov,
                 )
             else:
                 sync_exit = simulate_stages(
@@ -474,11 +517,18 @@ class BSPRuntime:
                     rng=self._sync_rng if self.noisy else None,
                     noise=self._noise,
                     entry_times=entries,
+                    provenance=sync_prov,
                 )
+            if ss_prov is not None:
+                ss_prov.sync = sync_prov
         else:
             sync_exit = entries.copy()
 
         exits = np.maximum(sync_exit, last_arrival)
+        if ss_prov is not None:
+            ss_prov.sync_exit = np.atleast_2d(sync_exit)
+            ss_prov.last_arrival = np.atleast_2d(last_arrival)
+            ss_prov.exits = np.atleast_2d(exits)
         self._apply_data()
         for pid, state in enumerate(states):
             if batched:
@@ -623,7 +673,7 @@ class BSPRuntime:
             self._plan_cache[key] = plan
         return plan, ordered
 
-    def _schedule_transfers(self, entries: np.ndarray):
+    def _schedule_transfers(self, entries: np.ndarray, prov=None):
         """Scalar transfer scheduler, replaying the cached plan.
 
         Event semantics are unchanged from the pre-cache implementation:
@@ -632,6 +682,10 @@ class BSPRuntime:
         the canonical order, since commit times ascend with sequence
         within a process — and noise is drawn in that processing order,
         so noisy streams are bit-identical to the un-cached scheduler.
+
+        ``prov`` (a :class:`SuperstepProvenance`) optionally captures the
+        per-transfer event times and NIC predecessor links; capture reads
+        the values this scheduler computes anyway and draws no noise.
         """
         truth = self.truth
         last_arrival = entries.copy()
@@ -639,17 +693,27 @@ class BSPRuntime:
         if plan is None:
             return last_arrival, 0, 0
         tx_free: dict[int, float] = {}
+        capture = prov is not None
+        tx_last: dict[int, int] = {}
 
-        def ship(k, remote, node_src, wire, ready, transit):
+        def ship(k, remote, node_src, wire, ready, transit, gid, cap):
             """Schedule canonical message ``k`` of one pass (pre-drawn
-            noisy ``transit``); returns its arrival time."""
+            noisy ``transit``); returns its arrival time.  ``gid`` is the
+            superstep-global transfer id; ``cap`` the optional capture
+            triple ``(wire_entry, tx_pred, transits)``."""
             if remote[k]:
                 node = int(node_src[k])
                 free = tx_free.get(node, 0.0)
                 wire_entry = max(ready, free)
                 tx_free[node] = wire_entry + truth.nic_gap + wire[k]
+                if cap is not None:
+                    cap[1][k] = tx_last.get(node, -1)
+                    tx_last[node] = gid
             else:
                 wire_entry = ready
+            if cap is not None:
+                cap[0][k] = wire_entry
+                cap[2][k] = transit
             return wire_entry + transit + truth.recv_overhead
 
         # Pass 1: puts, hpputs, sends, and get request headers, in global
@@ -658,17 +722,36 @@ class BSPRuntime:
         order1 = np.argsort(ready1, kind="stable")
         transits1 = self._noisy_transits(plan.base1[order1])
         request_arrival = np.empty(len(ordered))
+        m1 = len(ordered)
+        cap1 = (
+            (np.empty(m1), np.full(m1, -1, dtype=np.intp), np.empty(m1))
+            if capture else None
+        )
+        arrivals1 = np.empty(m1) if capture else None
         for pos in range(order1.size):
             k = int(order1[pos])
             arrival = ship(
                 k, plan.remote1, plan.node_src1, plan.wire1,
-                ready1[k], transits1[pos],
+                ready1[k], transits1[pos], k, cap1,
             )
+            if capture:
+                arrivals1[k] = arrival
             if plan.is_get[k]:  # request header: reply follows in pass 2
                 request_arrival[k] = arrival
             else:
                 d = int(plan.dst1[k])
                 last_arrival[d] = max(last_arrival[d], arrival)
+        if capture:
+            prov.pass1 = TransferPassProvenance(
+                src=plan.src1, dst=plan.dst1, remote=plan.remote1,
+                node_src=plan.node_src1, wire_cost=plan.wire1,
+                ready=np.atleast_2d(ready1),
+                wire_entry=np.atleast_2d(cap1[0]),
+                tx_pred=np.atleast_2d(cap1[1]),
+                transits=np.atleast_2d(cap1[2]),
+                arrivals=np.atleast_2d(arrivals1),
+            )
+            prov.is_get = plan.is_get
 
         # Pass 2: get replies leave once the owner has both received the
         # request and finished its superstep computation (§6.2: the value
@@ -683,17 +766,35 @@ class BSPRuntime:
                 dtype=np.intp,
             )
             transits2 = self._noisy_transits(plan.base2[order2])
+            m2 = int(plan.src2.size)
+            cap2 = (
+                (np.empty(m2), np.full(m2, -1, dtype=np.intp), np.empty(m2))
+                if capture else None
+            )
+            arrivals2 = np.empty(m2) if capture else None
             for pos in range(order2.size):
                 m = int(order2[pos])
                 arrival = ship(
                     m, plan.remote2, plan.node_src2, plan.wire2,
-                    ready2[m], transits2[pos],
+                    ready2[m], transits2[pos], m1 + m, cap2,
                 )
+                if capture:
+                    arrivals2[m] = arrival
                 d = int(plan.dst2[m])
                 last_arrival[d] = max(last_arrival[d], arrival)
+            if capture:
+                prov.pass2 = TransferPassProvenance(
+                    src=plan.src2, dst=plan.dst2, remote=plan.remote2,
+                    node_src=plan.node_src2, wire_cost=plan.wire2,
+                    ready=np.atleast_2d(ready2),
+                    wire_entry=np.atleast_2d(cap2[0]),
+                    tx_pred=np.atleast_2d(cap2[1]),
+                    transits=np.atleast_2d(cap2[2]),
+                    arrivals=np.atleast_2d(arrivals2),
+                )
         return last_arrival, plan.messages, plan.payload_total
 
-    def _schedule_transfers_batch(self, entries: np.ndarray):
+    def _schedule_transfers_batch(self, entries: np.ndarray, prov=None):
         """Replication-batched counterpart of :meth:`_schedule_transfers`.
 
         ``entries`` is ``(R, P)``; returns ``((R, P) last arrivals,
@@ -705,6 +806,10 @@ class BSPRuntime:
         argsort — ties fall back to the canonical order, matching the
         scalar sort key ``(commit_time, pid, sequence)``.  On the clean
         path every replication is bit-identical to the scalar scheduler.
+
+        ``prov`` (a :class:`SuperstepProvenance`) optionally captures the
+        per-transfer event times and NIC predecessor links; capture reads
+        the values this scheduler computes anyway and draws no noise.
         """
         truth = self.truth
         runs = self.runs
@@ -719,6 +824,14 @@ class BSPRuntime:
             return last_arrival, 0, 0
         rows = np.arange(runs)
         tx_free = np.zeros((runs, self._n_nodes))
+        capture = prov is not None
+        # NIC predecessor links use superstep-global transfer ids (pass-1
+        # message k -> k, pass-2 message m -> M1 + m): the transmit FIFOs
+        # persist from pass 1 into pass 2.
+        tx_last = (
+            np.full((runs, self._n_nodes), -1, dtype=np.intp)
+            if capture else None
+        )
 
         def draw_transits(base) -> np.ndarray:
             """One ``(R, M)`` bulk transit draw in canonical order."""
@@ -727,8 +840,10 @@ class BSPRuntime:
             return self._noise.sample_matrix(self._sync_rng, base, runs)
 
         def ship_pass(src, dst, base, wire_all, node_src, remote_mask,
-                      ready, order_key) -> np.ndarray:
-            """FIFO-schedule one pass; returns the ``(R, M)`` arrivals.
+                      ready, order_key, base_gid):
+            """FIFO-schedule one pass; returns ``(arrivals, transits,
+            wire_entry, tx_pred)`` — the last two ``None`` unless
+            capturing.
 
             ``order_key`` is the per-replication processing order of the
             shared transmit NICs (commit times in pass 1, request-header
@@ -736,6 +851,10 @@ class BSPRuntime:
             """
             transits = draw_transits(base)
             arrivals = ready + transits + truth.recv_overhead
+            wire_entries = txp = None
+            if capture:
+                wire_entries = np.array(ready, dtype=float, copy=True)
+                txp = np.full(ready.shape, -1, dtype=np.intp)
             remote = np.flatnonzero(remote_mask)
             if remote.size:
                 # Association matches the scalar ship() expression
@@ -756,7 +875,11 @@ class BSPRuntime:
                     arrivals[rows, g] = (
                         wire_entry + transits[rows, g] + truth.recv_overhead
                     )
-            return arrivals
+                    if capture:
+                        wire_entries[rows, g] = wire_entry
+                        txp[rows, g] = tx_last[rows, src_node[m]]
+                        tx_last[rows, src_node[m]] = base_gid + g
+            return arrivals, transits, wire_entries, txp
 
         def fold_arrivals(dst, arrivals, mask) -> None:
             """Max arrivals into ``last_arrival`` per destination (the
@@ -771,11 +894,20 @@ class BSPRuntime:
             [np.asarray(rec.commit_time, dtype=float) for _, rec in ordered],
             axis=-1,
         )
-        arrivals1 = ship_pass(
+        arrivals1, transits1, we1, txp1 = ship_pass(
             plan.src1, plan.dst1, plan.base1, plan.wire1, plan.node_src1,
-            plan.remote1, ready1, order_key=ready1,
+            plan.remote1, ready1, order_key=ready1, base_gid=0,
         )
         fold_arrivals(plan.dst1, arrivals1, ~plan.is_get)
+        if capture:
+            prov.pass1 = TransferPassProvenance(
+                src=plan.src1, dst=plan.dst1, remote=plan.remote1,
+                node_src=plan.node_src1, wire_cost=plan.wire1,
+                ready=ready1, wire_entry=we1, tx_pred=txp1,
+                transits=np.array(transits1, dtype=float, copy=True),
+                arrivals=arrivals1,
+            )
+            prov.is_get = plan.is_get
 
         if plan.src2.size:
             # Pass 2: replies leave once the owner has both received the
@@ -783,13 +915,22 @@ class BSPRuntime:
             # owner's NIC serves replies in request-arrival order.
             request_arrivals = arrivals1[:, plan.is_get]
             ready2 = np.maximum(request_arrivals, entries[:, plan.src2])
-            arrivals2 = ship_pass(
+            arrivals2, transits2, we2, txp2 = ship_pass(
                 plan.src2, plan.dst2, plan.base2, plan.wire2, plan.node_src2,
                 plan.remote2, ready2, order_key=request_arrivals,
+                base_gid=int(plan.src1.size),
             )
             fold_arrivals(
                 plan.dst2, arrivals2, np.ones(plan.src2.size, dtype=bool)
             )
+            if capture:
+                prov.pass2 = TransferPassProvenance(
+                    src=plan.src2, dst=plan.dst2, remote=plan.remote2,
+                    node_src=plan.node_src2, wire_cost=plan.wire2,
+                    ready=ready2, wire_entry=we2, tx_pred=txp2,
+                    transits=np.array(transits2, dtype=float, copy=True),
+                    arrivals=arrivals2,
+                )
         return last_arrival, plan.messages, plan.payload_total
 
     # ------------------------------------------------------- data movement
@@ -875,6 +1016,7 @@ def bsp_run(
     noisy: bool = True,
     runs: int | None = None,
     plan_cache: bool = True,
+    provenance: bool = False,
     **kwargs,
 ) -> BSPRunResult:
     """Convenience entry point: build a runtime and execute ``program``.
@@ -884,7 +1026,10 @@ def bsp_run(
     ``(R, ...)`` time arrays and a per-replication ``run_seconds`` view.
     ``plan_cache=False`` disables the per-superstep transfer-plan cache
     (results are bit-identical either way; the flag exists for
-    benchmarking the cache itself).
+    benchmarking the cache itself).  ``provenance=True`` records event
+    provenance (:mod:`repro.obs.provenance`) on the result for
+    critical-path extraction; recording draws no randomness and leaves
+    every clock bit-identical.
     """
     runtime = BSPRuntime(
         machine,
@@ -895,5 +1040,6 @@ def bsp_run(
         noisy=noisy,
         runs=runs,
         plan_cache=plan_cache,
+        provenance=provenance,
     )
     return runtime.run(program, *args, **kwargs)

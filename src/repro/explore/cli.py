@@ -18,7 +18,11 @@ Subcommands:
   ranges) and optionally export it as CSV,
 * ``trace [STORE_DIR]`` — export a store's recorded telemetry as a
   Chrome ``trace_event`` file (``--chrome out.json``, loadable in
-  Perfetto) or a merged metrics snapshot (``--metrics out.json``),
+  Perfetto) or a merged metrics snapshot (``--metrics out.json``);
+  ``--explain`` renders recorded critical-path reports and adds a
+  flow-arrow lane to the Chrome export,
+* ``explain [STORE_DIR]`` — render the critical-path/attribution
+  reports recorded in a store's telemetry sink,
 * ``stats [STORE_DIR]`` — report persisted run summaries, profile-cache
   hit rates, and (``--telemetry``) top-k slowest points and per-worker
   utilization from the recorded spans,
@@ -216,6 +220,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
         spec = get_suite(args.name)
     except KeyError as exc:
         raise SystemExit(exc.args[0]) from None
+    _maybe_enable_telemetry(args)
     try:
         report = localize_drift(
             spec,
@@ -469,16 +474,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     events = obs.read_events(sink)
     if not events:
         raise SystemExit(
-            f"no telemetry events under {sink!r} — run campaigns with "
-            f"--telemetry (or REPRO_TELEMETRY=1) first"
+            f"{obs.describe_empty_sink(sink)}\n(run campaigns with "
+            f"--telemetry or REPRO_TELEMETRY=1 first)"
         )
     n_spans = sum(1 for e in events if e.get("type") == "span")
     n_metrics = sum(1 for e in events if e.get("type") == "metric")
     pids = sorted({int(e.get("pid", 0)) for e in events})
     print(f"{sink}: {len(events)} events ({n_spans} spans, {n_metrics} "
           f"metric updates) from {len(pids)} process(es)")
+    critpath = None
+    if args.explain:
+        critpath = obs.critpath_records(events)
+        if critpath:
+            for record in critpath:
+                print(obs.render_record(record))
+        else:
+            print("no critpath reports in this sink — run a "
+                  "provenance-enabled simulation first (see `explain -h`)")
+            critpath = None
     if args.chrome:
-        doc = obs.chrome_trace(events)
+        doc = obs.chrome_trace(events, critpath=critpath)
         complete = obs.validate_chrome_trace(doc)
         with open(args.chrome, "w", encoding="utf-8") as fh:
             json.dump(doc, fh)
@@ -491,6 +506,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                       sort_keys=True)
             fh.write("\n")
         print(f"wrote metrics snapshot: {args.metrics}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    store = _telemetry_store(args)
+    sink = obs.telemetry_dir_for(store)
+    events = obs.read_events(sink)
+    if not events:
+        raise SystemExit(obs.describe_empty_sink(sink))
+    records = obs.critpath_records(events)
+    if not records:
+        raise SystemExit(
+            f"telemetry sink {sink} holds {len(events)} event(s) but no "
+            f"critpath reports — run a provenance-enabled simulation "
+            f"(e.g. the stencil-run experiment with critpath=true) or "
+            f"emit one with repro.obs.emit_report()"
+        )
+    if args.label is not None:
+        matched = [r for r in records if r.get("label") == args.label]
+        if not matched:
+            labels = sorted({
+                str(r.get("label") or "(unlabelled)") for r in records
+            })
+            raise SystemExit(
+                f"no critpath report labelled {args.label!r}; recorded "
+                f"labels: {', '.join(labels)}"
+            )
+        records = matched
+    if args.last:
+        records = records[-args.last:]
+    for index, record in enumerate(records):
+        if index:
+            print()
+        print(obs.render_record(record))
     return 0
 
 
@@ -539,7 +590,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
 
     if args.telemetry:
-        events = obs.read_events(obs.telemetry_dir_for(store))
+        sink = obs.telemetry_dir_for(store)
+        events = obs.read_events(sink)
+        if not events:
+            print(obs.describe_empty_sink(sink), file=sys.stderr)
+            return 1
         top = obs.top_spans(events, k=args.top)
         if top:
             rows = [
@@ -762,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop the witness search after N probes (default: the "
              "whole space)",
     )
+    add_telemetry(p_drift)
     p_drift.set_defaults(fn=_cmd_drift)
 
     p_ls = sub.add_parser("ls", help="list stored campaigns")
@@ -806,8 +862,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json",
         help="write the merged metrics snapshot",
     )
+    p_trace.add_argument(
+        "--explain", action="store_true",
+        help="render recorded critical-path reports and add a "
+             "flow-arrow lane to the --chrome export",
+    )
     add_store(p_trace)
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="render recorded critical-path / attribution reports",
+    )
+    p_explain.add_argument(
+        "store", nargs="?", default=None,
+        help="store directory holding .telemetry (default: --store-dir)",
+    )
+    p_explain.add_argument(
+        "--label", default=None,
+        help="only reports with this label",
+    )
+    p_explain.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the N most recent matching reports",
+    )
+    add_store(p_explain)
+    p_explain.set_defaults(fn=_cmd_explain)
 
     p_stats = sub.add_parser(
         "stats",

@@ -109,23 +109,38 @@ def _pattern_from_point(point: Mapping[str, Any]):
     return factory(int(point["nprocs"]))
 
 
+def _critpath_metrics(report) -> dict:
+    """Flatten an :class:`repro.obs.ExplainReport` into the derived
+    ``attribution_*_s`` / ``critpath_*`` result fields."""
+    metrics = {
+        f"attribution_{name}_s": row["mean_s"]
+        for name, row in report.categories.items()
+    }
+    top = report.top_edge
+    if top is not None:
+        metrics["critpath_top_edge"] = top["edge"]
+        metrics["critpath_top_edge_frequency"] = top["frequency"]
+    return metrics
+
+
 @register_experiment(
     "barrier-cost",
     "measured vs predicted barrier cost: preset, pattern, nprocs "
-    "[runs, comm_samples, nodes, seed]",
+    "[runs, comm_samples, nodes, seed, critpath]",
 )
 def barrier_cost(point: Mapping[str, Any]) -> dict:
     from repro.barriers.evaluate import evaluate_barrier
 
     machine = _machine_from_point(point)
     pattern = _pattern_from_point(point)
+    runs = int(point.get("runs", 16))
     ev = evaluate_barrier(
         machine,
         pattern,
-        runs=int(point.get("runs", 16)),
+        runs=runs,
         comm_samples=int(point.get("comm_samples", 5)),
     )
-    return {
+    metrics = {
         "measured_s": ev.measured,
         "predicted_s": ev.predicted,
         "abs_error_s": ev.absolute_error,
@@ -133,6 +148,25 @@ def barrier_cost(point: Mapping[str, Any]) -> dict:
         "num_stages": ev.num_stages,
         "total_messages": ev.total_messages,
     }
+    # Critical-path fields only appear when requested, so existing
+    # campaigns/goldens without the key stay byte-identical.  The rng
+    # stream is deterministic, so the provenance-enabled re-measure
+    # replays exactly the noise of the measurement above.
+    if point.get("critpath"):
+        from repro.barriers.simulate import measure_barrier
+        from repro.obs import EngineProvenance, emit_report, explain
+
+        prov = EngineProvenance()
+        measure_barrier(
+            machine, pattern, machine.placement(pattern.nprocs),
+            runs=runs, provenance=prov,
+        )
+        report = explain(
+            prov, label=f"barrier-{pattern.name}-{pattern.nprocs}"
+        )
+        emit_report(report)  # no-op unless telemetry is on
+        metrics.update(_critpath_metrics(report))
+    return metrics
 
 
 @register_experiment(
@@ -538,7 +572,7 @@ def fabric_study(point: Mapping[str, Any]) -> dict:
 @register_experiment(
     "stencil-run",
     "one stencil implementation run (A-series): preset, impl, n, nprocs "
-    "[iterations, noisy, runs, seed]",
+    "[iterations, noisy, runs, seed, critpath]",
 )
 def stencil_run(point: Mapping[str, Any]) -> dict:
     import numpy as np
@@ -547,15 +581,26 @@ def stencil_run(point: Mapping[str, Any]) -> dict:
 
     machine = _machine_from_point(point)
     impl = str(point["impl"])
+    n = int(point["n"])
     nprocs = int(point["nprocs"])
+    iterations = int(point.get("iterations", 6))
+    noisy = bool(point.get("noisy", True))
     runs = point.get("runs")
+    critpath = bool(point.get("critpath", False))
+    # Like runs, provenance exists only on the BSP runtime; an MPI-family
+    # request is an error rather than a silent scalar fallback.
+    if critpath and impl != "BSP":
+        raise ValueError(
+            f"critpath is only supported for the BSP implementation; "
+            f"got critpath with impl={impl!r}"
+        )
     result = run_strong_scaling(
         machine,
         [impl],
-        int(point["n"]),
+        n,
         (nprocs,),
-        iterations=int(point.get("iterations", 6)),
-        noisy=bool(point.get("noisy", True)),
+        iterations=iterations,
+        noisy=noisy,
         runs=None if runs is None else int(runs),
     )[impl][nprocs]
     metrics = {
@@ -569,6 +614,24 @@ def stencil_run(point: Mapping[str, Any]) -> dict:
         metrics["ensemble_runs"] = int(runs)
         metrics["ensemble_mean_iteration_s"] = float(per_run.mean())
         metrics["ensemble_spread_iteration_s"] = float(np.std(per_run))
+    if critpath:
+        from repro.obs import emit_report, explain
+        from repro.stencil.impls import run_bsp_stencil
+
+        # Replay the exact A-series run (same label → same noise draws)
+        # with provenance recording enabled.
+        replay = run_bsp_stencil(
+            machine, nprocs, n, iterations,
+            execute_numerics=False, noisy=noisy,
+            label=f"a-series-{nprocs}-{n}",
+            runs=None if runs is None else int(runs),
+            provenance=True,
+        )
+        report = explain(
+            replay.provenance, label=f"stencil-bsp-{nprocs}-{n}"
+        )
+        emit_report(report)  # no-op unless telemetry is on
+        metrics.update(_critpath_metrics(report))
     return metrics
 
 

@@ -23,10 +23,37 @@ See ``docs/observability.md`` for the span/metric model and the CLI
 (``python -m repro.explore trace/stats``).
 """
 
+from repro.obs.attribution import (
+    CRITPATH_EVENT,
+    ExplainReport,
+    critpath_records,
+    edge_criticality,
+    emit_report,
+    explain,
+    render_record,
+)
 from repro.obs.chrome import (
     chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.critpath import (
+    CriticalPath,
+    EventGraph,
+    Hop,
+    bsp_event_graph,
+    engine_event_graph,
+    event_graph,
+    extract_paths,
+    validate_path,
+)
+from repro.obs.provenance import (
+    BSPProvenance,
+    EngineProvenance,
+    StageProvenance,
+    SuperstepProvenance,
+    TransferPassProvenance,
+    rep_row,
 )
 from repro.obs.metrics import (
     DEFAULT_SECONDS_EDGES,
@@ -38,6 +65,7 @@ from repro.obs.metrics import (
 from repro.obs.summary import (
     TELEMETRY_DIRNAME,
     TelemetrySummary,
+    describe_empty_sink,
     list_summaries,
     load_summary,
     merged_metrics,
@@ -62,31 +90,53 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "CRITPATH_EVENT",
     "ENV_VAR",
     "TELEMETRY_DIRNAME",
     "DEFAULT_SECONDS_EDGES",
+    "BSPProvenance",
     "Counter",
+    "CriticalPath",
+    "EngineProvenance",
+    "EventGraph",
+    "ExplainReport",
     "Gauge",
     "Histogram",
+    "Hop",
     "MetricsRegistry",
     "Span",
+    "StageProvenance",
+    "SuperstepProvenance",
     "Telemetry",
     "TelemetrySummary",
+    "TransferPassProvenance",
+    "bsp_event_graph",
     "chrome_trace",
+    "critpath_records",
     "current",
+    "describe_empty_sink",
     "disable",
+    "edge_criticality",
+    "emit_report",
     "enable",
+    "engine_event_graph",
+    "event_graph",
+    "explain",
+    "extract_paths",
     "is_enabled",
     "list_summaries",
     "load_summary",
     "merged_metrics",
     "read_events",
+    "render_record",
+    "rep_row",
     "spans",
     "summarize_run",
     "summary_path",
     "telemetry_dir_for",
     "top_spans",
     "validate_chrome_trace",
+    "validate_path",
     "worker_utilization",
     "write_chrome_trace",
     "write_metrics_snapshot",

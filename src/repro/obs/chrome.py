@@ -28,6 +28,10 @@ from typing import Any, Iterable, Mapping
 #: pids, far below this.
 SIM_LANE_PID = 999_999_999
 
+#: Synthetic Chrome pid for critical-path lanes (one thread-lane per
+#: ``critpath`` record rendered).
+CRITPATH_LANE_PID = 999_999_998
+
 
 def _jsonable_args(attrs: Mapping[str, Any]) -> dict:
     """Chrome ``args`` must be JSON; coerce anything exotic to repr."""
@@ -41,12 +45,71 @@ def _jsonable_args(attrs: Mapping[str, Any]) -> dict:
     return out
 
 
-def chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict:
+def _critpath_lane(record: Mapping[str, Any], lane: int) -> list[dict]:
+    """Trace events for one ``critpath`` report: an X slice per
+    nonzero-duration hop plus flow arrows (``ph: "s"/"f"``) where the
+    path hands off between processes."""
+    label = record.get("label") or record.get("kind") or "critpath"
+    out: list[dict] = [{
+        "name": "thread_name", "ph": "M",
+        "pid": CRITPATH_LANE_PID, "tid": lane,
+        "args": {"name": f"critical path: {label}"},
+    }]
+    prev_drawn: Mapping[str, Any] | None = None
+    for index, hop in enumerate(record.get("path", [])):
+        t0, t1 = float(hop["t0"]), float(hop["t1"])
+        if t1 <= t0:
+            continue  # MAX redirects / zero hops do not advance time
+        if (
+            prev_drawn is not None
+            and hop.get("process") != prev_drawn.get("process")
+        ):
+            # A process handoff: arrow from the end of the previous
+            # slice to the start of this one (equal timestamps — the
+            # path is connected, so the arrow marks the blame switch).
+            flow_id = lane * 1_000_000 + index
+            common = {
+                "name": "critical path", "cat": "critpath",
+                "pid": CRITPATH_LANE_PID, "tid": lane, "id": flow_id,
+            }
+            out.append({
+                **common, "ph": "s",
+                "ts": float(prev_drawn["t1"]) * 1e6,
+            })
+            out.append({**common, "ph": "f", "bp": "e", "ts": t0 * 1e6})
+        out.append({
+            "name": hop.get("detail") or hop.get("category", "hop"),
+            "cat": "critpath",
+            "ph": "X",
+            "ts": t0 * 1e6,
+            "dur": (t1 - t0) * 1e6,
+            "pid": CRITPATH_LANE_PID,
+            "tid": lane,
+            "args": _jsonable_args({
+                "edge": hop.get("edge"),
+                "category": hop.get("category"),
+                "process": hop.get("process"),
+                "scope": hop.get("scope"),
+            }),
+        })
+        prev_drawn = hop
+    return out
+
+
+def chrome_trace(
+    events: Iterable[Mapping[str, Any]],
+    critpath: Mapping[str, Any] | Iterable[Mapping[str, Any]] | None = None,
+) -> dict:
     """Build a Chrome trace document from telemetry events.
 
     Only ``type == "span"`` events contribute; metric events are carried
     by the metrics snapshot instead.  Host timestamps are rebased so the
     earliest span is ``ts=0``; simulated timestamps already start near 0.
+
+    ``critpath`` takes one or more ``critpath`` report records (see
+    :mod:`repro.obs.attribution`); each gets a dedicated lane in a
+    synthetic "critical path" process, with flow arrows at every
+    process handoff along the path.
     """
     spans = [e for e in events if e.get("type") == "span"]
     host = [e for e in spans if e.get("time") == "host"]
@@ -109,14 +172,29 @@ def chrome_trace(events: Iterable[Mapping[str, Any]]) -> dict:
                 "args": _jsonable_args(event.get("attrs", {})),
             })
 
+    if critpath is not None:
+        records = (
+            [critpath] if isinstance(critpath, Mapping) else list(critpath)
+        )
+        if records:
+            trace_events.append({
+                "name": "process_name", "ph": "M",
+                "pid": CRITPATH_LANE_PID, "tid": 0,
+                "args": {"name": "critical path (simulated)"},
+            })
+        for lane, record in enumerate(records):
+            trace_events.extend(_critpath_lane(record, lane))
+
     return {"displayTimeUnit": "ms", "traceEvents": trace_events}
 
 
 def write_chrome_trace(
-    path: str, events: Iterable[Mapping[str, Any]]
+    path: str,
+    events: Iterable[Mapping[str, Any]],
+    critpath: Mapping[str, Any] | Iterable[Mapping[str, Any]] | None = None,
 ) -> dict:
     """Export ``events`` to ``path``; returns the written document."""
-    doc = chrome_trace(events)
+    doc = chrome_trace(events, critpath=critpath)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, sort_keys=True)
         fh.write("\n")
@@ -147,8 +225,16 @@ def validate_chrome_trace(doc: Mapping[str, Any]) -> int:
             if field not in event:
                 raise ValueError(f"traceEvents[{i}] lacks {field!r}")
         ph = event["ph"]
-        if ph not in ("X", "B", "E", "M", "i", "C"):
+        if ph not in ("X", "B", "E", "M", "i", "C", "s", "t", "f"):
             raise ValueError(f"traceEvents[{i}] has unknown ph {ph!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in event:
+                raise ValueError(f"traceEvents[{i}] flow event lacks 'id'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(
+                    f"traceEvents[{i}].ts must be a non-negative number"
+                )
         if ph == "X":
             for field in ("ts", "dur"):
                 value = event.get(field)

@@ -63,6 +63,36 @@ def read_events(sink_dir: str | os.PathLike) -> list[dict]:
     return events
 
 
+def describe_empty_sink(sink_dir: str | os.PathLike) -> str:
+    """Why :func:`read_events` returned nothing, as a one-line diagnosis.
+
+    Distinguishes a missing sink, a sink with no event streams, and a
+    sink whose ``events-*.jsonl`` files exist but hold no parseable
+    events (empty or torn-tail-only files — e.g. a run killed before its
+    first flush completed).  The CLI uses this to fail with a clear
+    message instead of a traceback.
+    """
+    sink_dir = os.fspath(sink_dir)
+    if not os.path.isdir(sink_dir):
+        return f"no telemetry sink at {sink_dir}"
+    files = [
+        fname
+        for fname in sorted(os.listdir(sink_dir))
+        if fname.startswith("events-") and fname.endswith(".jsonl")
+    ]
+    if not files:
+        return (
+            f"telemetry sink {sink_dir} holds no events-*.jsonl streams"
+            " (was the run telemetry-enabled?)"
+        )
+    return (
+        f"telemetry sink {sink_dir} has {len(files)} event stream(s) but"
+        " no readable events — the files are empty or hold only torn"
+        " lines (interrupted run?); re-run with --telemetry to record"
+        " a fresh stream"
+    )
+
+
 def merged_metrics(events: Iterable[Mapping[str, Any]]) -> dict:
     """Fold the metric events of a merged stream into one snapshot."""
     registry = MetricsRegistry()

@@ -207,6 +207,22 @@ class Telemetry:
             "attrs": attrs,
         })
 
+    def emit_event(self, type: str, **fields: Any) -> None:
+        """Record one arbitrary typed event (JSON-serialisable fields).
+
+        Analysis layers use this for records that are neither spans nor
+        metrics — e.g. ``repro.obs.attribution`` persists critical-path
+        reports as ``type="critpath"`` events so ``explain`` can read
+        them back from a store's sink.
+        """
+        if type in ("span", "metric"):
+            raise ValueError(
+                f"event type {type!r} is reserved; use the dedicated APIs"
+            )
+        event = {"type": str(type), "pid": self._pid}
+        event.update(fields)
+        self._append(event)
+
     # ------------------------------------------------------------ metrics
 
     def count(self, name: str, value: float = 1.0) -> None:

@@ -62,6 +62,7 @@ import numpy as np
 from repro.cluster.noise import NoiseModel
 from repro.machine.simmachine import CommTruth
 from repro.obs import current as _telemetry
+from repro.obs.provenance import EngineProvenance, StageProvenance
 
 
 @dataclass
@@ -134,6 +135,7 @@ def simulate_stages_batch(
     noise: NoiseModel | None = None,
     entry_times: np.ndarray | None = None,
     trace: list[StageEventTrace] | None = None,
+    provenance: EngineProvenance | None = None,
 ) -> np.ndarray:
     """Execute ``runs`` noisy replications of the stage pattern in one pass.
 
@@ -149,12 +151,18 @@ def simulate_stages_batch(
     summary per stage.  With both off, the stage loop allocates no
     per-stage trace state.  Telemetry draws no randomness and never
     changes the returned exits.
+
+    Event provenance is likewise opt-in: pass a fresh
+    :class:`repro.obs.provenance.EngineProvenance` as ``provenance=`` to
+    record every event time plus NIC/receiver FIFO predecessor links,
+    enough for :mod:`repro.obs.critpath` to rebuild the full event graph.
+    Recording draws no randomness and never changes the returned exits.
     """
     tele = _telemetry()
     if tele is None:
         return _simulate_stages_batch(
             truth, stages, runs, payload_bytes, rng, noise, entry_times,
-            trace,
+            trace, provenance,
         )
     stages = list(stages)
     eng_trace: list[StageEventTrace] = trace if trace is not None else []
@@ -168,7 +176,7 @@ def simulate_stages_batch(
     ) as span:
         exits = _simulate_stages_batch(
             truth, stages, runs, payload_bytes, rng, noise, entry_times,
-            eng_trace,
+            eng_trace, provenance,
         )
         for rec in eng_trace[first:]:
             entry_min = float(rec.entry.min()) if rec.entry.size else 0.0
@@ -200,6 +208,7 @@ def _simulate_stages_batch(
     noise: NoiseModel | None,
     entry_times: np.ndarray | None,
     trace: list[StageEventTrace] | None,
+    provenance: EngineProvenance | None = None,
 ) -> np.ndarray:
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -210,13 +219,19 @@ def _simulate_stages_batch(
         entry_times is None or np.asarray(entry_times).ndim == 1
     ):
         # Clean replications are identical: compute one, broadcast all.
+        # Provenance rides through the runs=1 sub-call with its arrays
+        # left single-row (rep_row clamps), only the requested replication
+        # count re-tagged.
         sub_trace: list[StageEventTrace] | None = (
             [] if trace is not None else None
         )
         one = _simulate_stages_batch(
             truth, stages, runs=1, payload_bytes=payload_bytes,
             rng=None, noise=None, entry_times=entry_times, trace=sub_trace,
+            provenance=provenance,
         )
+        if provenance is not None:
+            provenance.runs = int(runs)
         if trace is not None:
             trace.extend(
                 StageEventTrace(
@@ -239,6 +254,13 @@ def _simulate_stages_batch(
 
     t = _batch_entry_times(entry_times, runs, p)
 
+    capture = provenance is not None
+    if capture:
+        provenance.runs = int(runs)
+        provenance.nprocs = int(p)
+        provenance.nic_gap = float(truth.nic_gap)
+        provenance.initial_entry = t.copy()
+
     for s_idx, stage in enumerate(stages):
         stage = np.asarray(stage, dtype=bool)
         if stage.shape != (p, p):
@@ -250,9 +272,9 @@ def _simulate_stages_batch(
             # pattern; a fully empty stage just costs nothing.
             continue
         payload = stage_payload_matrix(payload_bytes, s_idx, p)
-        # Entry snapshot only when a trace was requested: the untraced hot
-        # path must not allocate per-stage (R, P) copies.
-        stage_entry = t.copy() if trace is not None else None
+        # Entry snapshot only when a trace/provenance was requested: the
+        # untraced hot path must not allocate per-stage (R, P) copies.
+        stage_entry = t.copy() if (trace is not None or capture) else None
 
         participants = np.flatnonzero(stage.any(axis=1) | stage.any(axis=0))
         senders = np.flatnonzero(stage.any(axis=1))
@@ -300,6 +322,9 @@ def _simulate_stages_batch(
         src_nodes = nodes[src]
         order = np.argsort(departs, axis=1, kind="stable")
         dep_sorted = np.take_along_axis(departs, order, axis=1)
+        if capture:
+            tx_pred_sorted = np.full((runs, n_msg), -1, dtype=np.intp)
+            tx_last = np.full((runs, n_nodes), -1, dtype=np.intp)
         if msg_remote.any():
             wire = np.empty((runs, n_msg))
             tx_free = np.zeros((runs, n_nodes))
@@ -312,8 +337,18 @@ def _simulate_stages_batch(
                 we = np.where(rm, np.maximum(d, prev), d)
                 tx_free[rows, node] = np.where(rm, we + truth.nic_gap, prev)
                 wire[:, k] = we
+                if capture:
+                    tx_pred_sorted[:, k] = np.where(
+                        rm, tx_last[rows, node], -1
+                    )
+                    tx_last[rows, node] = np.where(rm, m, tx_last[rows, node])
         else:
             wire = dep_sorted
+        if capture:
+            wire_entry = np.empty((runs, n_msg))
+            np.put_along_axis(wire_entry, order, wire, axis=1)
+            tx_pred = np.empty((runs, n_msg), dtype=np.intp)
+            np.put_along_axis(tx_pred, order, tx_pred_sorted, axis=1)
         arrive_sorted = wire + np.take_along_axis(transit_vals, order, axis=1)
         arrivals = np.empty((runs, n_msg))
         np.put_along_axis(arrivals, order, arrive_sorted, axis=1)
@@ -330,6 +365,12 @@ def _simulate_stages_batch(
         handles_sorted = np.empty((runs, n_msg))
         acks_sorted = np.empty((runs, n_msg))
         any_remote = bool(msg_remote.any())
+        if capture:
+            deliver_sorted = np.empty((runs, n_msg))
+            rx_pred_sorted = np.full((runs, n_msg), -1, dtype=np.intp)
+            recv_pred_sorted = np.full((runs, n_msg), -1, dtype=np.intp)
+            rx_last = np.full((runs, n_nodes), -1, dtype=np.intp)
+            rcv_last = np.full((runs, p), -1, dtype=np.intp)
         for k in range(n_msg):
             m = order2[:, k]
             a = arr2[:, k]
@@ -342,12 +383,21 @@ def _simulate_stages_batch(
                 rx_free[rows, node] = np.where(
                     rm, deliver + truth.nic_gap, prev
                 )
+                if capture:
+                    rx_pred_sorted[:, k] = np.where(
+                        rm, rx_last[rows, node], -1
+                    )
+                    rx_last[rows, node] = np.where(rm, m, rx_last[rows, node])
             else:
                 deliver = a
             handle = np.maximum(deliver, recv_cursor[rows, j]) + recv2[:, k]
             recv_cursor[rows, j] = handle
             handles_sorted[:, k] = handle
             acks_sorted[:, k] = handle + ack2[:, k]
+            if capture:
+                deliver_sorted[:, k] = deliver
+                recv_pred_sorted[:, k] = rcv_last[rows, j]
+                rcv_last[rows, j] = m
         handles = np.empty((runs, n_msg))
         np.put_along_axis(handles, order2, handles_sorted, axis=1)
         acks = np.empty((runs, n_msg))
@@ -368,6 +418,40 @@ def _simulate_stages_batch(
         )
         new_t[:, receivers] = np.maximum(new_t[:, receivers], cons_max)
         t = new_t
+        if capture:
+            deliver_canon = np.empty((runs, n_msg))
+            np.put_along_axis(deliver_canon, order2, deliver_sorted, axis=1)
+            rx_pred = np.empty((runs, n_msg), dtype=np.intp)
+            np.put_along_axis(rx_pred, order2, rx_pred_sorted, axis=1)
+            recv_pred = np.empty((runs, n_msg), dtype=np.intp)
+            np.put_along_axis(recv_pred, order2, recv_pred_sorted, axis=1)
+            provenance.stages.append(
+                StageProvenance(
+                    stage=s_idx,
+                    src=src,
+                    dst=dst,
+                    participants=participants,
+                    senders=senders,
+                    sender_of_msg=sender_of_msg,
+                    offsets=offsets,
+                    msg_remote=msg_remote,
+                    src_nodes=src_nodes,
+                    dst_nodes=dst_nodes,
+                    entry=stage_entry,
+                    after_inv=after_inv,
+                    departs=departs,
+                    wire_entry=wire_entry,
+                    tx_pred=tx_pred,
+                    arrivals=arrivals,
+                    deliver=deliver_canon,
+                    rx_pred=rx_pred,
+                    handles=handles,
+                    recv_pred=recv_pred,
+                    acks=acks,
+                    busy_end=busy_end,
+                    exit=t,
+                )
+            )
         if trace is not None:
             trace.append(
                 StageEventTrace(
@@ -377,6 +461,8 @@ def _simulate_stages_batch(
                     messages=n_msg,
                 )
             )
+    if capture:
+        provenance.final_exit = t
     return t
 
 
@@ -388,6 +474,7 @@ def simulate_stages(
     noise: NoiseModel | None = None,
     entry_times: np.ndarray | None = None,
     trace: list[StageEventTrace] | None = None,
+    provenance: EngineProvenance | None = None,
 ) -> np.ndarray:
     """Execute stage matrices over the ground truth; return exit times.
 
@@ -397,7 +484,8 @@ def simulate_stages(
 
     This is the single-replication view of :func:`simulate_stages_batch`;
     callers measuring many noisy runs should pass ``runs=R`` there instead
-    of looping here.
+    of looping here.  A ``provenance`` record is filled with
+    single-replication rows.
     """
     p = truth.nprocs
     if entry_times is not None and np.shape(entry_times) != (p,):
@@ -414,6 +502,7 @@ def simulate_stages(
         noise=noise,
         entry_times=entry_times,
         trace=batch_trace,
+        provenance=provenance,
     )
     if trace is not None:
         trace.extend(

@@ -58,6 +58,7 @@ class StencilRunResult:
     iteration_seconds: np.ndarray  # global duration per iteration
     total_seconds: float
     field: np.ndarray | None = None  # assembled global grid (BSP only)
+    provenance: object | None = None  # BSPProvenance when requested (BSP)
 
     @property
     def runs(self) -> int | None:
@@ -95,6 +96,7 @@ def run_bsp_stencil(
     initial=None,
     label: str = "bsp-stencil",
     runs: int | None = None,
+    provenance: bool = False,
 ) -> StencilRunResult:
     """The BSPlib implementation (§8.3.1) on the simulated platform.
 
@@ -105,6 +107,9 @@ def run_bsp_stencil(
     times.  The scalar path (``runs=None``) is unchanged and serves as
     the behavioural oracle (clean path bit-identical per replication,
     noisy ensembles KS-equivalent; ``tests/stencil/test_stencil_batch.py``).
+    ``provenance=True`` records event provenance on the result for
+    critical-path extraction (``repro.obs.explain``); timings stay
+    bit-identical.
     """
     require_int(iterations, "iterations")
     blocks = decompose(n, nprocs)
@@ -185,7 +190,8 @@ def run_bsp_stencil(
         return u[1 : h + 1, 1 : w + 1].copy() if execute_numerics else None
 
     result = bsp_run(
-        machine, nprocs, program, label=label, noisy=noisy, runs=runs
+        machine, nprocs, program, label=label, noisy=noisy, runs=runs,
+        provenance=provenance,
     )
     # Supersteps: registration, initial border exchange, then iterations.
     # The per-iteration extraction below slices the last ``iterations``
@@ -227,6 +233,7 @@ def run_bsp_stencil(
         iteration_seconds=iteration_seconds,
         total_seconds=result.total_seconds,
         field=field,
+        provenance=result.provenance,
     )
 
 

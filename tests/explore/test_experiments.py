@@ -90,3 +90,48 @@ def test_scaled_preset_point_changes_capacity():
             "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 16,
             "nodes": 1, **FAST,
         })
+
+
+def test_barrier_cost_critpath_fields_are_opt_in():
+    base_point = {
+        "preset": "xeon-8x2x4", "pattern": "dissemination", "nprocs": 8,
+        **FAST,
+    }
+    base = run_point("barrier-cost", base_point)
+    explained = run_point("barrier-cost", {**base_point, "critpath": True})
+    # Opt-in fields never perturb the existing metrics.
+    for key, value in base.items():
+        assert explained[key] == value
+    assert explained["critpath_top_edge"]
+    assert 0 < explained["critpath_top_edge_frequency"] <= 1.0
+    attribution = {
+        k: v for k, v in explained.items() if k.startswith("attribution_")
+    }
+    assert attribution
+    # Category means telescope along the path, so they sum to the mean
+    # of the per-replication makespans — which is exactly the measured
+    # mean-worst statistic (the rng stream replays deterministically).
+    assert sum(attribution.values()) == pytest.approx(
+        explained["measured_s"], rel=1e-12
+    )
+
+
+def test_stencil_run_critpath_fields_are_opt_in():
+    base_point = {
+        "preset": "xeon-8x2x4", "impl": "BSP", "n": 96, "nprocs": 4,
+        "runs": 2,
+    }
+    base = run_point("stencil-run", base_point)
+    explained = run_point("stencil-run", {**base_point, "critpath": True})
+    for key, value in base.items():
+        assert explained[key] == value
+    assert explained["critpath_top_edge"]
+    assert explained["attribution_compute_s"] > 0
+
+
+def test_stencil_run_critpath_rejects_mpi_family():
+    with pytest.raises(ValueError, match="critpath is only supported"):
+        run_point("stencil-run", {
+            "preset": "xeon-8x2x4", "impl": "MPI", "n": 96, "nprocs": 4,
+            "critpath": True,
+        })

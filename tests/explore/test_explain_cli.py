@@ -1,0 +1,190 @@
+"""The ``explain`` subcommand, ``trace --explain``, and the graceful
+failure modes of ``trace``/``stats`` on empty or torn telemetry sinks."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.barriers.patterns import dissemination_barrier
+from repro.cluster import presets
+from repro.explore.cli import build_parser, main
+from repro.machine.simmachine import SimMachine
+from repro.simmpi.engine import simulate_stages_batch
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolated(monkeypatch):
+    monkeypatch.delenv(obs.ENV_VAR, raising=False)
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def store_with_report(tmp_path):
+    """A store directory whose sink holds one span and one critpath
+    report (label ``dissemination-8``)."""
+    store = tmp_path / "campaigns"
+    sink = store / obs.TELEMETRY_DIRNAME
+    sink.mkdir(parents=True)
+    telemetry = obs.enable(str(sink))
+    machine = SimMachine(
+        presets.xeon_8x2x4_topology(), presets.xeon_8x2x4_params(), seed=77
+    )
+    pattern = dissemination_barrier(8)
+    truth = machine.comm_truth(machine.placement(8))
+    prov = obs.EngineProvenance()
+    with telemetry.span("campaign.point", attrs={"experiment": "demo"}):
+        simulate_stages_batch(
+            truth, pattern.stages, runs=4,
+            rng=np.random.default_rng(3), provenance=prov,
+        )
+    obs.emit_report(obs.explain(prov, label="dissemination-8"))
+    telemetry.flush()
+    obs.disable()
+    return str(store)
+
+
+class TestExplainCommand:
+    def test_renders_recorded_report(self, store_with_report, capsys):
+        assert main(["explain", store_with_report]) == 0
+        out = capsys.readouterr().out
+        assert "dissemination-8" in out
+        assert "category attribution" in out
+        assert "tightest resources" in out
+
+    def test_label_filter_hit_and_miss(self, store_with_report, capsys):
+        assert main([
+            "explain", store_with_report, "--label", "dissemination-8"
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", store_with_report, "--label", "nope"])
+        assert "recorded labels: dissemination-8" in str(exc.value)
+
+    def test_missing_sink_is_graceful(self, tmp_path):
+        store = tmp_path / "campaigns"
+        store.mkdir()
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", str(store)])
+        assert "no telemetry sink" in str(exc.value)
+
+    def test_sink_without_reports_is_graceful(self, tmp_path):
+        store = tmp_path / "campaigns"
+        sink = store / obs.TELEMETRY_DIRNAME
+        sink.mkdir(parents=True)
+        (sink / "events-1.jsonl").write_text(
+            json.dumps({"type": "span", "name": "x", "ts": 0.0,
+                        "dur": 1.0, "pid": 1, "tid": 0, "time": "host"})
+            + "\n"
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", str(store)])
+        assert "no critpath reports" in str(exc.value)
+
+
+class TestAdapterEmission:
+    def test_critpath_adapter_point_feeds_explain(self, tmp_path, capsys):
+        """A telemetry-enabled critpath adapter run emits a report the
+        ``explain`` subcommand reads back."""
+        from repro.explore.experiments import run_point
+
+        store = tmp_path / "campaigns"
+        sink = store / obs.TELEMETRY_DIRNAME
+        sink.mkdir(parents=True)
+        telemetry = obs.enable(str(sink))
+        run_point("barrier-cost", {
+            "preset": "xeon-8x2x4", "pattern": "dissemination",
+            "nprocs": 8, "runs": 3, "comm_samples": 3, "critpath": True,
+        })
+        telemetry.flush()
+        obs.disable()
+        assert main(["explain", str(store)]) == 0
+        assert "barrier-dissemination-8" in capsys.readouterr().out
+
+
+class TestTraceExplain:
+    def test_chrome_export_gets_flow_lane(
+        self, store_with_report, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", store_with_report, "--explain", "--chrome", out_path
+        ]) == 0
+        assert "dissemination-8" in capsys.readouterr().out
+        with open(out_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        obs.validate_chrome_trace(doc)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"s", "f"} <= phases
+        lanes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert "critical path (simulated)" in lanes
+
+    def test_explain_without_reports_still_exports(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "campaigns"
+        sink = store / obs.TELEMETRY_DIRNAME
+        sink.mkdir(parents=True)
+        (sink / "events-1.jsonl").write_text(
+            json.dumps({"type": "span", "name": "x", "ts": 0.0,
+                        "dur": 1.0, "pid": 1, "tid": 0, "time": "host"})
+            + "\n"
+        )
+        out_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", str(store), "--explain", "--chrome", out_path
+        ]) == 0
+        assert "no critpath reports" in capsys.readouterr().out
+        assert os.path.exists(out_path)
+
+
+class TestGracefulSinkFailures:
+    @pytest.fixture
+    def torn_store(self, tmp_path):
+        """Sink exists; its event streams hold only torn/empty lines."""
+        store = tmp_path / "campaigns"
+        sink = store / obs.TELEMETRY_DIRNAME
+        sink.mkdir(parents=True)
+        (sink / "events-100.jsonl").write_text("")
+        (sink / "events-101.jsonl").write_text('{"type": "span", "tr\n')
+        return str(store)
+
+    def test_trace_reports_torn_sink(self, torn_store):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", torn_store])
+        message = str(exc.value)
+        assert "no readable events" in message
+        assert "2 event stream(s)" in message
+
+    def test_trace_reports_missing_streams(self, tmp_path):
+        store = tmp_path / "campaigns"
+        (store / obs.TELEMETRY_DIRNAME).mkdir(parents=True)
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", str(store)])
+        assert "no events-*.jsonl streams" in str(exc.value)
+
+    def test_stats_telemetry_fails_cleanly(self, torn_store, capsys):
+        assert main(["stats", torn_store, "--telemetry"]) == 1
+        assert "no readable events" in capsys.readouterr().err
+
+    def test_stats_without_telemetry_flag_unaffected(
+        self, torn_store, capsys
+    ):
+        assert main(["stats", torn_store]) == 0
+        assert "no run summaries" in capsys.readouterr().out
+
+
+class TestDriftTelemetryFlag:
+    def test_parser_accepts_telemetry(self):
+        args = build_parser().parse_args(["drift", "fig-4-2", "--telemetry"])
+        assert args.telemetry is True
+        args = build_parser().parse_args(["drift", "fig-4-2"])
+        assert args.telemetry is False
