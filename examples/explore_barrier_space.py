@@ -28,7 +28,7 @@ import json
 import os
 import tempfile
 
-from repro.explore import DesignSpace, run_campaign
+from repro.explore import DesignSpace, RetryPolicy, run_campaign
 from repro.util.tables import format_table
 
 SPACE = DesignSpace.from_dict({
@@ -70,7 +70,16 @@ def main(argv=None) -> None:
         "--telemetry-out", metavar="DIR", default=None,
         help="record telemetry and export trace.json + metrics.json here",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry failed points up to N times (CI chaos smoke sets "
+             "this and injects faults via REPRO_FAULTS)",
+    )
     args = parser.parse_args(argv)
+    policy = (
+        RetryPolicy(max_attempts=args.max_retries + 1, point_timeout_s=60.0)
+        if args.max_retries > 0 else None
+    )
     if args.telemetry_out:
         from repro import obs
 
@@ -80,14 +89,16 @@ def main(argv=None) -> None:
               f"(3 presets x 4 patterns x 3 process counts)\n")
 
         first = run_campaign(
-            "barrier-ranking", SPACE, "barrier-cost", store_dir=store
+            "barrier-ranking", SPACE, "barrier-cost", store_dir=store,
+            policy=policy,
         )
         stats = first.stats
         print(f"first run:  {stats.evaluated} evaluated, "
               f"{stats.cached} cached ({stats.cache_hit_rate:.0%} hit rate)")
 
         second = run_campaign(
-            "barrier-ranking", SPACE, "barrier-cost", store_dir=store
+            "barrier-ranking", SPACE, "barrier-cost", store_dir=store,
+            policy=policy,
         )
         stats = second.stats
         print(f"second run: {stats.evaluated} evaluated, "
@@ -98,12 +109,21 @@ def main(argv=None) -> None:
         parallel = run_campaign(
             "barrier-ranking-par", SPACE, "barrier-cost",
             executor="process", workers=2,
+            policy=policy, degrade=policy is not None,
         )
         identical = [r.metrics for r in parallel.results] == [
             r.metrics for r in first.results
         ]
         print(f"parallel executor bit-identical to serial: {identical}")
         assert identical
+        quarantined = (
+            first.stats.quarantined + second.stats.quarantined
+            + parallel.stats.quarantined
+        )
+        if policy is not None:
+            print(f"resilience: max {args.max_retries} retries/point, "
+                  f"{quarantined} quarantined")
+        assert quarantined == 0, "no point may stay failed"
 
         results = second.results
 

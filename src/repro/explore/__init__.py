@@ -11,6 +11,10 @@ bespoke benchmark scripts.
 * :mod:`repro.explore.campaign`    — the resumable ``Campaign`` runner and
                                      serial/multiprocessing executors
 * :mod:`repro.explore.cache`       — the append-only JSONL result cache
+* :mod:`repro.explore.resilience`  — retry/timeout/backoff policy,
+                                     poison-point quarantine, and the
+                                     deterministic fault-injection
+                                     harness
 * :mod:`repro.explore.results`     — ``ResultSet`` queries: filter,
                                      group-by, rank, Pareto front
 * :mod:`repro.explore.experiments` — the experiment registry and built-in
@@ -28,7 +32,15 @@ bespoke benchmark scripts.
 """
 
 from repro.explore.space import ParamSpec, DesignPoint, DesignSpace, canonical_json
-from repro.explore.cache import ResultCache, record_key
+from repro.explore.cache import CorruptStoreWarning, ResultCache, record_key
+from repro.explore.resilience import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    PoolBrokenError,
+    RetryPolicy,
+    read_quarantine,
+)
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.experiments import (
     EXPERIMENTS,
@@ -45,6 +57,7 @@ from repro.explore.campaign import (
     CampaignPointError,
     CampaignStats,
     ChunkedProcessPoolExecutor,
+    PointFailure,
     ProcessPoolExecutor,
     SerialExecutor,
     make_executor,
@@ -93,8 +106,15 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "canonical_json",
+    "CorruptStoreWarning",
     "ResultCache",
     "record_key",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolBrokenError",
+    "RetryPolicy",
+    "read_quarantine",
     "ResultRecord",
     "ResultSet",
     "EXPERIMENTS",
@@ -109,6 +129,7 @@ __all__ = [
     "CampaignPointError",
     "CampaignStats",
     "ChunkedProcessPoolExecutor",
+    "PointFailure",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "make_executor",

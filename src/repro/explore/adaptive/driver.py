@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.explore.campaign import Campaign, CampaignStats
+from repro.explore.resilience import RetryPolicy
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignSpace
 from repro.explore.adaptive.samplers import Observation, make_sampler
@@ -85,6 +86,7 @@ class AdaptiveStats:
     cached: int
     failed: int
     rounds: int
+    quarantined: int = 0
 
     @property
     def total(self) -> int:
@@ -180,6 +182,8 @@ class AdaptiveCampaign:
         workers: int | None = None,
         on_error: str = "raise",
         durable: bool = False,
+        policy: RetryPolicy | None = None,
+        degrade: bool = False,
     ):
         self.plan = plan
         # The underlying campaign owns cache, executor, and error policy;
@@ -193,6 +197,8 @@ class AdaptiveCampaign:
             workers=workers,
             on_error=on_error,
             durable=durable,
+            policy=policy,
+            degrade=degrade,
         )
 
     @property
@@ -216,7 +222,8 @@ class AdaptiveCampaign:
         plan = self.plan
         sampler = plan.build_sampler(self.space)
         records: list[ResultRecord] = []
-        evaluated = cached = failed = rounds = 0
+        evaluated = cached = failed = quarantined = rounds = 0
+        failures: list[dict] = []
         while len(records) < plan.budget:
             batch = min(plan.batch, plan.budget - len(records))
             proposals = sampler.propose(batch)
@@ -243,6 +250,8 @@ class AdaptiveCampaign:
             evaluated += stats.evaluated
             cached += stats.cached
             failed += stats.failed
+            quarantined += stats.quarantined
+            failures.extend(self._campaign._last_failures)
             rounds += 1
         if tele is not None and self._campaign.store_dir is not None:
             tele.flush()
@@ -255,12 +264,14 @@ class AdaptiveCampaign:
                     "evaluated": evaluated,
                     "cached": cached,
                     "failed": failed,
+                    "quarantined": quarantined,
                     "rounds": rounds,
                     "budget": plan.budget,
                 },
                 wall_seconds=time.time() - started,
                 keys=[record.key for record in records],
                 started=started,
+                failures=failures,
             )
         return AdaptiveOutcome(
             name=self.name,
@@ -274,6 +285,7 @@ class AdaptiveCampaign:
                 cached=cached,
                 failed=failed,
                 rounds=rounds,
+                quarantined=quarantined,
             ),
         )
 
@@ -288,6 +300,8 @@ def run_adaptive(
     workers: int | None = None,
     on_error: str = "raise",
     durable: bool = False,
+    policy: RetryPolicy | None = None,
+    degrade: bool = False,
 ) -> AdaptiveOutcome:
     """One-call convenience wrapper mirroring :func:`run_campaign`."""
     if not isinstance(space, DesignSpace):
@@ -304,4 +318,6 @@ def run_adaptive(
         workers=workers,
         on_error=on_error,
         durable=durable,
+        policy=policy,
+        degrade=degrade,
     ).run()

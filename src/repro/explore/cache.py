@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from typing import Any, Iterator, Mapping
 
 from repro.explore.space import canonical_json
@@ -22,6 +23,12 @@ def record_key(experiment: str, point: Mapping[str, Any]) -> str:
     """Stable cache key for one (experiment, design-point) evaluation."""
     payload = canonical_json({"experiment": experiment, "point": dict(point)})
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class CorruptStoreWarning(UserWarning):
+    """A result store carried unreadable lines; they were skipped (torn
+    trailing line) or quarantined to ``<store>.corrupt`` (mid-file), and
+    their points will simply be re-evaluated on the next run."""
 
 
 class ResultCache:
@@ -38,21 +45,80 @@ class ResultCache:
         self._records: dict[str, dict] = {}
         self._load()
 
+    @property
+    def corrupt_path(self) -> str:
+        """Where unreadable mid-file lines are quarantined on load."""
+        return f"{self.path}.corrupt"
+
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    self._records[entry["key"]] = entry["record"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # A torn tail line from an interrupted run is expected;
-                    # everything before it is still valid.
-                    continue
+        with open(self.path, "rb") as fh:
+            raw_lines = fh.read().splitlines(keepends=True)
+        corrupt: list[tuple[int, str]] = []  # (1-based line number, text)
+        for number, raw in enumerate(raw_lines, start=1):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                self._records[entry["key"]] = entry["record"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                corrupt.append((number, line))
+        if not corrupt:
+            return
+        # A torn *trailing* line is the expected residue of a killed
+        # writer (single O_APPEND write, so only the tail can tear):
+        # truncate it away — leaving it would splice the next append
+        # onto the garbage — and warn.  Unreadable lines *before* the
+        # tail mean something worse happened to the file; quarantine
+        # them to the .corrupt sidecar so they stay inspectable, and
+        # carry on — their points just look uncached and will be
+        # re-evaluated.
+        if corrupt[-1][0] == len(raw_lines):
+            repaired = "truncated"
+            try:
+                good = sum(len(r) for r in raw_lines[:-1])
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(good)
+            except OSError:
+                repaired = "skipped (store not writable)"
+            warnings.warn(
+                f"result store {self.path!r}: {repaired} torn trailing "
+                f"line {corrupt[-1][0]} (interrupted writer); the record "
+                f"will be re-evaluated",
+                CorruptStoreWarning,
+                stacklevel=3,
+            )
+            corrupt.pop()
+        if corrupt:
+            self._quarantine_corrupt([line for _, line in corrupt])
+            numbers = ", ".join(str(n) for n, _ in corrupt)
+            warnings.warn(
+                f"result store {self.path!r}: quarantined "
+                f"{len(corrupt)} corrupt line(s) ({numbers}) to "
+                f"{self.corrupt_path!r}; their records will be "
+                f"re-evaluated",
+                CorruptStoreWarning,
+                stacklevel=3,
+            )
+
+    def _quarantine_corrupt(self, lines: list[str]) -> None:
+        seen: set[str] = set()
+        if os.path.exists(self.corrupt_path):
+            with open(self.corrupt_path, "r", encoding="utf-8") as fh:
+                seen = {line.strip() for line in fh if line.strip()}
+        fresh = [line for line in lines if line not in seen]
+        if not fresh:
+            return
+        payload = ("\n".join(fresh) + "\n").encode("utf-8")
+        fd = os.open(
+            self.corrupt_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------- queries
 
@@ -89,8 +155,20 @@ class ResultCache:
         if directory:
             os.makedirs(directory, exist_ok=True)
         payload = (line + "\n").encode("utf-8")
+        # Chaos hook: an active torn-append fault truncates this write,
+        # simulating a writer killed between partial append and
+        # completion (the in-memory record stays intact, exactly as a
+        # crashed process's results would have before it died).
+        from repro.explore.resilience import maybe_tear
+
+        torn = maybe_tear(
+            "cache.put", str(dict(record).get("experiment", "")), key, payload
+        )
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
+            if torn is not None:
+                os.write(fd, torn)
+                return
             written = os.write(fd, payload)
             if written != len(payload):
                 # Short write (disk full, quota): the tail is torn and the

@@ -16,6 +16,7 @@ executors produce bit-identical result sets.
 
 from __future__ import annotations
 
+import functools
 import json
 import multiprocessing
 import os
@@ -26,6 +27,15 @@ from typing import Any, Mapping, Sequence
 
 from repro.explore.cache import ResultCache, record_key
 from repro.explore.experiments import run_point
+from repro.explore.resilience import (
+    RetryPolicy,
+    append_quarantine,
+    chunked_map_resilient,
+    current_plan,
+    pool_map_resilient,
+    quarantine_path as _quarantine_path,
+    serial_map_with_retry,
+)
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignPoint, DesignSpace, jsonable
 from repro.obs import current as _telemetry
@@ -44,10 +54,15 @@ def _jsonify_metrics(value: Any) -> dict:
 
 def _evaluate_point(experiment: str, params: dict) -> tuple[bool, dict]:
     try:
+        if current_plan() is not None:  # chaos harness; inert otherwise
+            from repro.explore.resilience import maybe_inject
+
+            maybe_inject("evaluate", experiment, record_key(experiment, params))
         return True, _jsonify_metrics(run_point(experiment, params))
     except Exception as exc:  # noqa: BLE001 — reported, never swallowed
         return False, {
             "error": f"{type(exc).__name__}: {exc}",
+            "error_type": type(exc).__name__,
             "traceback": traceback.format_exc(),
         }
 
@@ -90,6 +105,20 @@ def _evaluate_chunk(chunk: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
     return [_evaluate(task) for task in chunk]
 
 
+def _evaluate_chunk_with_policy(
+    policy: RetryPolicy, chunk: list[tuple[str, dict]]
+) -> list[tuple[bool, dict]]:
+    """Chunked worker entry under a retry policy: the chunk still
+    evaluates serially inside one worker, but each point gets the
+    policy's retry/backoff budget (and quarantine enrichment) right
+    there — a failed point must not force the whole chunk back to the
+    parent.  Module-level + ``functools.partial`` so the pool can pickle
+    it by reference."""
+    return serial_map_with_retry(
+        _evaluate, chunk, policy, keys=_task_keys(chunk)
+    )
+
+
 def _pool_context():
     """The multiprocessing context both pool executors share: fork where
     available so experiments registered at runtime (e.g. in tests) exist
@@ -103,32 +132,91 @@ def _worker_count(tasks: list, workers: int | None) -> int:
     return workers or min(len(tasks), os.cpu_count() or 1)
 
 
+def _task_keys(tasks: list[tuple[str, dict]]) -> list[str]:
+    """Cache keys of the tasks — the retry drivers key jitter, fault
+    ledgers, and quarantine records the same way the result store does."""
+    return [record_key(experiment, params) for experiment, params in tasks]
+
+
 class SerialExecutor:
-    """In-process, in-order evaluation."""
+    """In-process, in-order evaluation.
+
+    With a :class:`RetryPolicy`, failed points retry after deterministic
+    backoff and quarantine on exhaustion.  ``point_timeout_s`` is *not*
+    enforced here — a single process cannot preempt its own call; use a
+    pool executor when hung points must be reclaimed.
+    """
 
     name = "serial"
+
+    def __init__(self, policy: RetryPolicy | None = None):
+        self.policy = policy
+
+    def _map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
+        if self.policy is None or self.policy.is_noop:
+            return [_evaluate(task) for task in tasks]
+        return serial_map_with_retry(
+            _evaluate, tasks, self.policy, keys=_task_keys(tasks)
+        )
 
     def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
         tele = _telemetry()
         if tele is None:
-            return [_evaluate(task) for task in tasks]
+            return self._map(tasks)
         tele.gauge("executor.workers", 1)
         with tele.span(
             "executor.map", executor=self.name, tasks=len(tasks), workers=1
         ):
-            return [_evaluate(task) for task in tasks]
+            return self._map(tasks)
 
 
 class ProcessPoolExecutor:
-    """``multiprocessing.Pool`` evaluation, order-preserving, one point
-    per pool task — right for few expensive points."""
+    """Process-pool evaluation, order-preserving, one point per pool
+    task — right for few expensive points.
+
+    Without a :class:`RetryPolicy` (and with ``degrade`` off) this is a
+    plain ``multiprocessing.Pool`` map, where a dying worker hangs the
+    map and a stuck point wedges it.  With a policy or ``degrade``, the
+    resilient driver takes over: per-point wall-clock deadlines (blown
+    deadlines kill and rebuild the pool), retries with deterministic
+    backoff, quarantine on exhaustion, and — when ``degrade`` is set —
+    serial in-process fallback after repeated worker death.
+    """
 
     name = "process"
 
-    def __init__(self, workers: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        policy: RetryPolicy | None = None,
+        degrade: bool = False,
+    ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.policy = policy
+        self.degrade = degrade
+
+    @property
+    def _resilient(self) -> bool:
+        return self.degrade or (
+            self.policy is not None and not self.policy.is_noop
+        )
+
+    def _map_resilient(
+        self, tasks: list[tuple[str, dict]], workers: int,
+        pre_submit=None,
+    ) -> list[tuple[bool, dict]]:
+        return pool_map_resilient(
+            _pool_context(),
+            _evaluate,
+            tasks,
+            _task_keys(tasks),
+            workers,
+            self.policy or RetryPolicy(),
+            degrade=self.degrade,
+            pre_submit=pre_submit,
+        )
 
     def map(self, tasks: list[tuple[str, dict]]) -> list[tuple[bool, dict]]:
         if not tasks:
@@ -136,6 +224,8 @@ class ProcessPoolExecutor:
         workers = _worker_count(tasks, self.workers)
         tele = _telemetry()
         if tele is None:
+            if self._resilient:
+                return self._map_resilient(tasks, workers)
             with _pool_context().Pool(processes=workers) as pool:
                 return pool.map(_evaluate, tasks)
         tele.gauge("executor.workers", workers)
@@ -147,6 +237,10 @@ class ProcessPoolExecutor:
             "executor.map", executor=self.name, tasks=len(tasks),
             workers=workers,
         ):
+            if self._resilient:
+                return self._map_resilient(
+                    tasks, workers, pre_submit=tele.flush
+                )
             with _pool_context().Pool(processes=workers) as pool:
                 return pool.map(_evaluate, tasks)
 
@@ -177,13 +271,27 @@ class ChunkedProcessPoolExecutor:
     #: > 1 so one straggler chunk cannot serialise the tail of a sweep.
     SLICES_PER_WORKER = 4
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        policy: RetryPolicy | None = None,
+        degrade: bool = False,
+    ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.policy = policy
+        self.degrade = degrade
+
+    @property
+    def _resilient(self) -> bool:
+        return self.degrade or (
+            self.policy is not None and not self.policy.is_noop
+        )
 
     def _chunks(self, tasks: list, workers: int) -> list[list]:
         size = self.chunk_size
@@ -198,17 +306,22 @@ class ChunkedProcessPoolExecutor:
         chunks = self._chunks(tasks, workers)
         tele = _telemetry()
         if len(chunks) == 1:
-            # One chunk means no parallelism to win; skip the pool.
+            # One chunk means no parallelism to win; skip the pool.  The
+            # resilient single-chunk path keeps the in-process fast path
+            # (retry/backoff apply; timeouts cannot — same contract as
+            # the serial executor).
             if tele is None:
-                return _evaluate_chunk(chunks[0])
+                return self._map_single(tasks)
             tele.gauge("executor.workers", 1)
             with tele.span(
                 "executor.map", executor=self.name, tasks=len(tasks),
                 workers=1, chunks=1,
             ):
-                return _evaluate_chunk(chunks[0])
+                return self._map_single(tasks)
         processes = min(workers, len(chunks))
         if tele is None:
+            if self._resilient:
+                return self._map_resilient(tasks, chunks, processes)
             with _pool_context().Pool(processes=processes) as pool:
                 outputs = pool.map(_evaluate_chunk, chunks)
             return [result for chunk_out in outputs for result in chunk_out]
@@ -218,9 +331,39 @@ class ChunkedProcessPoolExecutor:
             "executor.map", executor=self.name, tasks=len(tasks),
             workers=processes, chunks=len(chunks),
         ):
+            if self._resilient:
+                return self._map_resilient(
+                    tasks, chunks, processes, pre_submit=tele.flush
+                )
             with _pool_context().Pool(processes=processes) as pool:
                 outputs = pool.map(_evaluate_chunk, chunks)
         return [result for chunk_out in outputs for result in chunk_out]
+
+    def _map_single(
+        self, tasks: list[tuple[str, dict]]
+    ) -> list[tuple[bool, dict]]:
+        if self.policy is None or self.policy.is_noop:
+            return _evaluate_chunk(tasks)
+        return serial_map_with_retry(
+            _evaluate, tasks, self.policy, keys=_task_keys(tasks)
+        )
+
+    def _map_resilient(
+        self, tasks: list[tuple[str, dict]], chunks: list, processes: int,
+        pre_submit=None,
+    ) -> list[tuple[bool, dict]]:
+        policy = self.policy or RetryPolicy()
+        return chunked_map_resilient(
+            _pool_context(),
+            functools.partial(_evaluate_chunk_with_policy, policy),
+            _evaluate,
+            chunks,
+            _task_keys(tasks),
+            processes,
+            policy,
+            degrade=self.degrade,
+            pre_submit=pre_submit,
+        )
 
 
 EXECUTORS = {
@@ -230,10 +373,20 @@ EXECUTORS = {
 }
 
 
-def make_executor(spec: str | None, workers: int | None = None):
-    """Resolve an executor spec: an instance, a name, or None (serial)."""
+def make_executor(
+    spec: str | None,
+    workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    degrade: bool = False,
+):
+    """Resolve an executor spec: an instance, a name, or None (serial).
+
+    ``policy`` and ``degrade`` configure named executors; on a
+    ready-made instance they are applied only when given, so an executor
+    constructed with its own policy passes through untouched.
+    """
     if spec is None:
-        return SerialExecutor()
+        return SerialExecutor(policy=policy)
     if isinstance(spec, str):
         try:
             cls = EXECUTORS[spec]
@@ -242,7 +395,13 @@ def make_executor(spec: str | None, workers: int | None = None):
             raise ValueError(
                 f"unknown executor {spec!r} (known: {known})"
             ) from None
-        return cls() if cls is SerialExecutor else cls(workers)
+        if cls is SerialExecutor:
+            return cls(policy=policy)
+        return cls(workers, policy=policy, degrade=degrade)
+    if policy is not None and hasattr(spec, "policy"):
+        spec.policy = policy
+    if degrade and hasattr(spec, "degrade"):
+        spec.degrade = True
     return spec
 
 
@@ -254,13 +413,16 @@ class CampaignStats:
     ``evaluated`` counts points *computed this run* (fresh executor work,
     failures included).  The two are disjoint and sum to ``total`` — the
     rates below keep that distinction instead of conflating "cache was
-    useful" with "cache did everything".
+    useful" with "cache did everything".  ``quarantined`` is the subset
+    of ``failed`` that exhausted a retry policy and was recorded to the
+    quarantine sidecar.
     """
 
     total: int
     evaluated: int
     cached: int
     failed: int
+    quarantined: int = 0
 
     @property
     def served_from_cache(self) -> int:
@@ -305,6 +467,8 @@ class Campaign:
         workers: int | None = None,
         on_error: str = "raise",
         durable: bool = False,
+        policy: RetryPolicy | None = None,
+        degrade: bool = False,
     ):
         if on_error not in ("raise", "store"):
             raise ValueError("on_error must be 'raise' or 'store'")
@@ -312,9 +476,10 @@ class Campaign:
         self.space = space
         self.experiment = experiment
         self.store_dir = os.fspath(store_dir) if store_dir is not None else None
-        self.executor = make_executor(executor, workers)
+        self.executor = make_executor(executor, workers, policy, degrade)
         self.on_error = on_error
         self._cache: ResultCache | None = None
+        self._last_failures: list[dict] = []
         if self.store_dir is not None:
             self._cache = ResultCache(
                 self.results_path(self.store_dir, name), durable=durable
@@ -323,6 +488,12 @@ class Campaign:
     @staticmethod
     def results_path(store_dir: str | os.PathLike, name: str) -> str:
         return os.path.join(os.fspath(store_dir), f"{name}.jsonl")
+
+    @staticmethod
+    def quarantine_path(store_dir: str | os.PathLike, name: str) -> str:
+        """The quarantine sidecar: structured records of points that
+        exhausted their retry budget, next to ``<name>.jsonl``."""
+        return _quarantine_path(Campaign.results_path(store_dir, name))
 
     @property
     def cache(self) -> ResultCache | None:
@@ -366,6 +537,7 @@ class Campaign:
                 span.set("cached", stats.cached)
                 span.set("computed", stats.evaluated)
                 span.set("failed", stats.failed)
+                span.set("quarantined", stats.quarantined)
         except BaseException:
             tele.flush()  # keep the error-stamped span on disk
             raise
@@ -375,6 +547,8 @@ class Campaign:
             tele.count("campaign.points.computed", stats.evaluated)
         if stats.failed:
             tele.count("campaign.points.failed", stats.failed)
+        if stats.quarantined:
+            tele.count("campaign.points.quarantined", stats.quarantined)
         tele.flush()
         from repro.bench.profile_cache import PROFILE_CACHE
 
@@ -422,15 +596,30 @@ class Campaign:
 
         fresh: dict[int, dict] = {}
         failed = 0
+        quarantined = 0
+        self._last_failures = []
         # strict: a custom executor returning a short/long mapping is a
         # bug that must surface, not silently drop points.
         for (idx, point), (ok, metrics) in zip(pending, outputs, strict=True):
             if not ok:
                 failed += 1
+                if metrics.get("quarantined"):
+                    quarantined += 1
+                    self._persist_quarantine(keys[idx], point, metrics)
+                self._last_failures.append({
+                    "key": keys[idx],
+                    "error": metrics.get("error", "unknown error"),
+                    "error_type": metrics.get("error_type"),
+                    "attempts": metrics.get("attempts", 1),
+                    "reason": metrics.get("reason", "exception"),
+                    "quarantined": bool(metrics.get("quarantined")),
+                })
                 if self.on_error == "raise":
+                    # Chain the worker-side failure so the original error
+                    # and its remote traceback survive the pool boundary.
                     raise CampaignPointError(
                         self.name, self.experiment, point, metrics
-                    )
+                    ) from PointFailure(metrics)
             fresh[idx] = metrics
             # Failures are never cached, so a fixed experiment re-runs them.
             if ok and self._cache is not None:
@@ -461,8 +650,33 @@ class Campaign:
             evaluated=len(pending),
             cached=cached,
             failed=failed,
+            quarantined=quarantined,
         )
         return records, stats
+
+    def _persist_quarantine(
+        self, key: str, point: DesignPoint, metrics: Mapping[str, Any]
+    ) -> None:
+        """Write one structured quarantine record to the sidecar (when a
+        store is attached) so exhausted points survive the process."""
+        if self.store_dir is None:
+            return
+        record = {
+            "key": key,
+            "campaign": self.name,
+            "experiment": self.experiment,
+            "point": point.as_dict(),
+            "error": metrics.get("error"),
+            "error_type": metrics.get("error_type"),
+            "traceback": metrics.get("traceback"),
+            "attempts": metrics.get("attempts"),
+            "elapsed_s": metrics.get("elapsed_s"),
+            "reason": metrics.get("reason"),
+            "time": round(time.time(), 3),
+        }
+        append_quarantine(
+            self.quarantine_path(self.store_dir, self.name), record
+        )
 
     def run(self) -> CampaignOutcome:
         """Evaluate all uncached points and return the full result set.
@@ -491,12 +705,34 @@ class Campaign:
                     "evaluated": stats.evaluated,
                     "cached": stats.cached,
                     "failed": stats.failed,
+                    "quarantined": stats.quarantined,
                 },
                 wall_seconds=time.time() - started,
                 keys=[record.key for record in records],
                 started=started,
+                failures=self._last_failures,
             )
         return outcome
+
+
+class PointFailure(RuntimeError):
+    """The worker-side failure of one point, reconstructed in the parent.
+
+    Experiment exceptions die with their worker process; this carries
+    their identity and formatted remote traceback across the pool
+    boundary so :class:`CampaignPointError` can chain from the original
+    cause (``raise ... from``) instead of dropping it.
+    """
+
+    def __init__(self, details: Mapping[str, Any]):
+        self.error = details.get("error", "unknown error")
+        self.error_type = details.get("error_type")
+        self.remote_traceback = details.get("traceback")
+        message = self.error
+        if self.remote_traceback:
+            message = f"{self.error}\n\nworker traceback:\n" \
+                      f"{self.remote_traceback}"
+        super().__init__(message)
 
 
 class CampaignPointError(RuntimeError):
@@ -527,6 +763,8 @@ def run_campaign(
     workers: int | None = None,
     on_error: str = "raise",
     durable: bool = False,
+    policy: RetryPolicy | None = None,
+    degrade: bool = False,
 ) -> CampaignOutcome:
     """One-call convenience wrapper: accepts a spec dict or a DesignSpace."""
     if not isinstance(space, DesignSpace):
@@ -540,4 +778,6 @@ def run_campaign(
         workers=workers,
         on_error=on_error,
         durable=durable,
+        policy=policy,
+        degrade=degrade,
     ).run()

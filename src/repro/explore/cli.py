@@ -91,6 +91,20 @@ def _maybe_enable_telemetry(args: argparse.Namespace) -> None:
         obs.enable()
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """Build the :class:`RetryPolicy` the resilience flags describe, or
+    ``None`` when neither flag was given (plain execution)."""
+    retries = getattr(args, "max_retries", 0) or 0
+    timeout = getattr(args, "point_timeout", None)
+    if retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    if not retries and timeout is None:
+        return None
+    from repro.explore.resilience import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries + 1, point_timeout_s=timeout)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     _maybe_enable_telemetry(args)
@@ -103,6 +117,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             executor=args.executor,
             workers=args.workers,
             on_error="store" if args.keep_going else "raise",
+            policy=_policy_from_args(args),
+            degrade=args.degrade,
         )
         outcome = campaign.run()
     except CampaignPointError as exc:
@@ -111,10 +127,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     stats = outcome.stats
+    quarantined = (
+        f", {stats.quarantined} quarantined" if stats.quarantined else ""
+    )
     print(
         f"campaign {outcome.name!r}: {stats.total} points "
         f"({stats.computed} computed, {stats.served_from_cache} served "
-        f"from cache, {stats.failed} failed; cache hit rate "
+        f"from cache, {stats.failed} failed{quarantined}; cache hit rate "
         f"{stats.cache_hit_rate:.0%})"
     )
     _print_results(outcome.results, sort=args.sort, limit=args.limit)
@@ -171,6 +190,8 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
             executor=args.executor,
             workers=args.workers,
             on_error="store" if args.keep_going else "raise",
+            policy=_policy_from_args(args),
+            degrade=args.degrade,
         )
     except CampaignPointError as exc:
         raise SystemExit(f"{exc}\n(use --keep-going to record failed "
@@ -178,12 +199,15 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     stats = outcome.stats
+    quarantined = (
+        f", {stats.quarantined} quarantined" if stats.quarantined else ""
+    )
     print(
         f"adaptive campaign {outcome.name!r} [{plan.strategy}]: "
         f"{stats.proposed} of {stats.space_size} points "
         f"({stats.coverage:.1%} coverage) in {stats.rounds} rounds; "
         f"{stats.evaluated} evaluated, {stats.cached} cached, "
-        f"{stats.failed} failed"
+        f"{stats.failed} failed{quarantined}"
     )
     if plan.objective is not None:
         try:
@@ -332,7 +356,8 @@ def _store_files(store_dir: str) -> list[str]:
     if not os.path.isdir(store_dir):
         return []
     return sorted(
-        f for f in os.listdir(store_dir) if f.endswith(".jsonl")
+        f for f in os.listdir(store_dir)
+        if f.endswith(".jsonl") and not f.endswith(".quarantine.jsonl")
     )
 
 
@@ -381,11 +406,17 @@ def _store_records(args: argparse.Namespace) -> tuple[str, ResultSet]:
     from repro.explore.cache import ResultCache
     from repro.explore.results import ResultRecord
 
+    from repro.explore.resilience import quarantine_path
+
     if os.path.exists(args.store) and not os.path.isdir(args.store):
         path = args.store
     else:
         path = Campaign.results_path(args.store_dir, args.store)
-        if not os.path.exists(path):
+        if not os.path.exists(path) and not os.path.exists(
+            quarantine_path(path)
+        ):
+            # A store whose every point quarantined has a sidecar but no
+            # result file; that is still a reportable campaign.
             raise SystemExit(
                 f"no store file {args.store!r} and no stored campaign "
                 f"{args.store!r} under {args.store_dir!r} (expected {path})"
@@ -410,6 +441,7 @@ def _cmd_results(args: argparse.Namespace) -> int:
           f"({summary['failed']} failed), "
           f"experiments: {', '.join(summary['experiments']) or '(none)'}")
     _print_last_run(path)
+    quarantined = _print_quarantine(path)
     if summary["parameters"]:
         rows = [[n, c] for n, c in summary["parameters"].items()]
         print(format_table(["parameter", "distinct values"], rows))
@@ -425,7 +457,42 @@ def _cmd_results(args: argparse.Namespace) -> int:
               f"to {args.csv}")
     if args.table:
         _print_results(results, sort=args.sort, limit=args.limit)
+    if args.strict and (quarantined or summary["failed"]):
+        print(
+            f"strict: {quarantined} quarantined point(s), "
+            f"{summary['failed']} failed record(s) — failing"
+        )
+        return 1
     return 0
+
+
+def _print_quarantine(store_path: str) -> int:
+    """Report the store's quarantine sidecar (points that exhausted a
+    retry policy), newest record per point; returns the distinct-point
+    count.  Silent when no sidecar exists."""
+    from repro.explore.resilience import quarantine_path, read_quarantine
+
+    records = read_quarantine(quarantine_path(store_path))
+    if not records:
+        return 0
+    latest: dict[str, dict] = {}
+    for record in records:  # append order: later entries are newer
+        latest[str(record.get("key"))] = record
+    print(f"quarantined: {len(latest)} point(s) exhausted their retry "
+          f"budget")
+    rows = []
+    for key, record in latest.items():
+        error = str(record.get("error") or "?")
+        if len(error) > 60:
+            error = error[:57] + "..."
+        rows.append([
+            key,
+            record.get("attempts") or "?",
+            record.get("reason") or "?",
+            error,
+        ])
+    print(format_table(["key", "attempts", "reason", "last error"], rows))
+    return len(latest)
 
 
 def _print_last_run(store_path: str) -> None:
@@ -445,10 +512,12 @@ def _print_last_run(store_path: str) -> None:
     total = int(st.get("total", 0))
     cached = int(st.get("cached", 0))
     rate = cached / total if total else 0.0
+    quarantined = int(st.get("quarantined", 0))
+    qpart = f" ({quarantined} quarantined)" if quarantined else ""
     print(
         f"last run: {int(st.get('evaluated', 0))} computed, "
         f"{cached} served from cache (hit rate {rate:.0%}), "
-        f"{int(st.get('failed', 0))} failed "
+        f"{int(st.get('failed', 0))} failed{qpart} "
         f"in {summary.wall_seconds:.2f}s"
     )
     changes = summary.changes_since_previous()
@@ -694,6 +763,25 @@ def build_parser() -> argparse.ArgumentParser:
                  "(never changes results; see `trace` and `stats`)",
         )
 
+    def add_resilience(p):
+        p.add_argument(
+            "--max-retries", type=int, default=0, metavar="N",
+            help="retry a failed point up to N times with deterministic "
+                 "exponential backoff before quarantining it (default: 0)",
+        )
+        p.add_argument(
+            "--point-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-point wall-clock deadline, enforced by the pool "
+                 "executors (a blown deadline counts as one failed "
+                 "attempt); the serial executor cannot preempt and "
+                 "ignores it",
+        )
+        p.add_argument(
+            "--degrade", action="store_true",
+            help="after repeated worker-pool death, finish the remaining "
+                 "points serially in-process instead of aborting",
+        )
+
     p_run = sub.add_parser("run", help="run a campaign from a JSON spec")
     p_run.add_argument("spec", help="path to the campaign spec file")
     p_run.add_argument(
@@ -704,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true",
         help="record failed points instead of aborting",
     )
+    add_resilience(p_run)
     add_store(p_run)
     add_display(p_run)
     add_telemetry(p_run)
@@ -750,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true",
         help="record failed points instead of aborting",
     )
+    add_resilience(p_adapt)
     add_store(p_adapt)
     add_display(p_adapt)
     add_telemetry(p_adapt)
@@ -841,6 +931,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_results.add_argument("--csv", help="write the records to this CSV file")
     p_results.add_argument(
         "--table", action="store_true", help="also print the full table"
+    )
+    p_results.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when the store holds failed records or its "
+             "quarantine sidecar holds any points",
     )
     add_store(p_results)
     add_display(p_results)

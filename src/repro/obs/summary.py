@@ -188,10 +188,11 @@ class TelemetrySummary:
     experiment: str
     unix_time: float
     wall_seconds: float
-    stats: Mapping[str, Any]  # total/evaluated/cached/failed
+    stats: Mapping[str, Any]  # total/evaluated/cached/failed/quarantined
     top_slowest: Sequence[Mapping[str, Any]] = ()
     metrics: Mapping[str, Any] = field(default_factory=dict)
     workers: Sequence[Mapping[str, Any]] = ()
+    failures: Sequence[Mapping[str, Any]] = ()
     previous: Mapping[str, Any] | None = None
 
     def to_dict(self) -> dict:
@@ -205,6 +206,7 @@ class TelemetrySummary:
             "top_slowest": [dict(s) for s in self.top_slowest],
             "metrics": dict(self.metrics),
             "workers": [dict(w) for w in self.workers],
+            "failures": [dict(f) for f in self.failures],
             "previous": None if self.previous is None else dict(self.previous),
         }
 
@@ -219,6 +221,7 @@ class TelemetrySummary:
             top_slowest=tuple(data.get("top_slowest", ())),
             metrics=dict(data.get("metrics", {})),
             workers=tuple(data.get("workers", ())),
+            failures=tuple(data.get("failures", ())),
             previous=data.get("previous"),
         )
 
@@ -232,7 +235,7 @@ class TelemetrySummary:
             "wall_seconds": self.wall_seconds
             - float(prev.get("wall_seconds", 0.0)),
         }
-        for key in ("total", "evaluated", "cached", "failed"):
+        for key in ("total", "evaluated", "cached", "failed", "quarantined"):
             now = int(self.stats.get(key, 0))
             before = int(prev.get("stats", {}).get(key, 0))
             deltas[key] = now - before
@@ -283,6 +286,7 @@ def write_summary(
         embedded.pop("top_slowest", None)
         embedded.pop("metrics", None)
         embedded.pop("workers", None)
+        embedded.pop("failures", None)
         summary = TelemetrySummary(
             campaign=summary.campaign,
             experiment=summary.experiment,
@@ -292,6 +296,7 @@ def write_summary(
             top_slowest=summary.top_slowest,
             metrics=summary.metrics,
             workers=summary.workers,
+            failures=summary.failures,
             previous=embedded,
         )
     path = summary_path(store_dir, summary.campaign)
@@ -313,6 +318,7 @@ def summarize_run(
     keys: Sequence[str] | None = None,
     started: float | None = None,
     k: int = 10,
+    failures: Sequence[Mapping[str, Any]] = (),
 ) -> TelemetrySummary:
     """Assemble and persist one run's :class:`TelemetrySummary`.
 
@@ -320,7 +326,9 @@ def summarize_run(
     windows the span-derived reports (top-k, worker lanes) to this run,
     since the sink directory accumulates across runs.  The metrics
     snapshot is the store-lifetime fold — counters in it are cumulative
-    over every telemetry-enabled run against this store.
+    over every telemetry-enabled run against this store.  ``failures``
+    is the campaign's structured failure digest for this run (error,
+    attempts, quarantine flag per failed point).
     """
     events = read_events(telemetry_dir_for(store_dir))
     if started is not None:
@@ -349,6 +357,7 @@ def summarize_run(
         ],
         metrics=merged_metrics(events),
         workers=worker_utilization(window),
+        failures=[dict(f) for f in failures],
     )
     write_summary(store_dir, summary)
     return summary
