@@ -1,0 +1,17 @@
+"""Entry point: ``python -m repro.analysis [options] [paths...]``."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``| head``) closed the pipe: not an
+    # error.  Point stdout at devnull so the interpreter's shutdown
+    # flush doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+raise SystemExit(code)

@@ -1,0 +1,162 @@
+"""Baseline files: grandfathered findings with mandatory justifications.
+
+A baseline lets the linter gate *new* violations while an agreed set of
+existing ones is worked off.  The file is JSON::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "DET003",
+          "path": "src/repro/explore/campaign.py",
+          "fingerprint": "9f2c41aa03b7c155",
+          "justification": "summary timestamps; migrating to obs.wallclock in PR 11"
+        }
+      ]
+    }
+
+Fingerprints come from :func:`repro.analysis.core.fingerprint` — they
+hash the rule, the path, and the *stripped source line* (plus an
+occurrence index), so unrelated edits that shift line numbers do not
+invalidate the baseline, while any edit to the offending line does.
+Every entry must carry a non-empty ``justification``; a baseline with
+silent entries is rejected outright (exit 2), so the file can never
+become a list of unexplained exemptions.  The acceptance bar for this
+repository is an *empty* baseline — the checked-in
+``detlint-baseline.json`` stays empty and exists to pin the workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding
+
+VERSION = 1
+
+#: Default baseline location, relative to the invocation directory.
+DEFAULT_PATH = "detlint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad JSON, bad schema, silent entries)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An in-memory baseline: match findings, track unused entries."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries = list(entries or [])
+
+    @property
+    def _index(self) -> dict[tuple[str, str], BaselineEntry]:
+        return {(e.rule, e.fingerprint): e for e in self.entries}
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.rule, finding.fingerprint) in self._index
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition into (new, baselined) findings plus unused entries."""
+        index = self._index
+        new: list[Finding] = []
+        old: list[Finding] = []
+        seen: set[tuple[str, str]] = set()
+        for finding in findings:
+            key = (finding.rule, finding.fingerprint)
+            if key in index:
+                old.append(finding)
+                seen.add(key)
+            else:
+                new.append(finding)
+        unused = [e for e in self.entries if (e.rule, e.fingerprint) not in seen]
+        return new, old, unused
+
+
+def load(path: str) -> Baseline:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("version") != VERSION:
+        raise BaselineError(
+            f"{path}: expected a baseline object with version {VERSION}"
+        )
+    raw = data.get("entries")
+    if not isinstance(raw, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    entries: list[BaselineEntry] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise BaselineError(f"{path}: entry {i} is not an object")
+        try:
+            entry = BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                fingerprint=str(item["fingerprint"]),
+                justification=str(item.get("justification", "")),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"{path}: entry {i} is missing {exc.args[0]!r}"
+            ) from exc
+        if not entry.justification.strip():
+            raise BaselineError(
+                f"{path}: entry {i} ({entry.rule} {entry.path}) has no "
+                "justification — every baselined finding must say why "
+                "it is allowed to stand"
+            )
+        entries.append(entry)
+    return Baseline(entries)
+
+
+def save(path: str, findings: list[Finding], justification: str) -> Baseline:
+    """Write a baseline covering ``findings``; returns the new baseline.
+
+    The caller-supplied ``justification`` is stamped on every entry, so
+    a generated baseline is honest about being a bulk grandfather; edit
+    the file to refine per-entry reasons.
+    """
+    if not justification.strip():
+        raise BaselineError(
+            "refusing to write a baseline without a justification "
+            "(pass --justification)"
+        )
+    entries = [
+        BaselineEntry(
+            rule=f.rule,
+            path=f.path.replace(os.sep, "/"),
+            fingerprint=f.fingerprint,
+            justification=justification,
+        )
+        for f in findings
+    ]
+    baseline = Baseline(entries)
+    payload = {
+        "version": VERSION,
+        "entries": [e.to_json() for e in baseline.entries],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return baseline

@@ -1,0 +1,207 @@
+"""``python -m repro.analysis`` — the detlint command line.
+
+Exit codes: 0 clean (or every finding baselined/suppressed), 1 findings
+(or unused baseline entries under ``--baseline``), 2 usage / IO /
+baseline-schema errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.core import LintResult, all_rules, lint_paths
+
+FORMATS = ("text", "github", "json")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "detlint: statically enforce the repository's determinism "
+            "contracts (rule catalogue: docs/analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", nargs="?", const=baseline_mod.DEFAULT_PATH,
+        metavar="PATH", default=None,
+        help=(
+            "subtract grandfathered findings recorded in PATH "
+            f"(default path: {baseline_mod.DEFAULT_PATH}); unused "
+            "entries are reported and fail the run so the baseline "
+            "only ever shrinks"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", nargs="?", const=baseline_mod.DEFAULT_PATH,
+        metavar="PATH", default=None,
+        help="write the current findings to PATH as a baseline and exit",
+    )
+    parser.add_argument(
+        "--justification", default="",
+        help="justification stamped on every --write-baseline entry",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line on stderr",
+    )
+    return parser
+
+
+def _select_rules(spec: str | None):
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip().upper() for part in spec.split(",") if part.strip()}
+    index = {rule.id: rule for rule in rules}
+    unknown = wanted - set(index)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(index))})"
+        )
+    return [index[rule_id] for rule_id in sorted(wanted)]
+
+
+def _emit(findings, fmt: str, result: LintResult) -> None:
+    if fmt == "json":
+        payload = {
+            "findings": [f.to_json() for f in findings],
+            "files": result.files,
+            "suppressed": result.suppressed,
+            "errors": result.errors,
+        }
+        print(json.dumps(payload, indent=2))
+        return
+    for finding in findings:
+        if fmt == "github":
+            print(finding.github())
+        else:
+            print(finding.text())
+            if finding.snippet:
+                print(f"    {finding.snippet}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    if args.explain is not None:
+        rule_id = args.explain.strip().upper()
+        for rule in all_rules():
+            if rule.id == rule_id:
+                print(rule.__doc__ or f"{rule.id}: (undocumented)")
+                return 0
+        print(f"unknown rule {args.explain!r}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    try:
+        rules = _select_rules(args.rules)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    result = lint_paths(paths, rules=rules)
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+
+    if args.write_baseline is not None:
+        try:
+            baseline_mod.save(
+                args.write_baseline, result.findings, args.justification
+            )
+        except baseline_mod.BaselineError as exc:
+            print(f"baseline error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    findings = result.findings
+    unused: list = []
+    baselined: list = []
+    if args.baseline is not None:
+        try:
+            baseline = baseline_mod.load(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"baseline error: {args.baseline} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        except baseline_mod.BaselineError as exc:
+            print(f"baseline error: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined, unused = baseline.split(findings)
+
+    _emit(findings, args.format, result)
+    for entry in unused:
+        message = (
+            f"unused baseline entry: {entry.rule} {entry.path} "
+            f"{entry.fingerprint} — the finding is gone; remove the entry"
+        )
+        if args.format == "github":
+            print(f"::warning file={entry.path},title=detlint::{message}")
+        else:
+            print(message, file=sys.stderr)
+
+    if not args.quiet:
+        bits = [
+            f"detlint: {result.files} file(s)",
+            f"{len(findings)} finding(s)",
+        ]
+        if baselined:
+            bits.append(f"{len(baselined)} baselined")
+        if result.suppressed:
+            bits.append(f"{result.suppressed} suppressed inline")
+        if unused:
+            bits.append(f"{len(unused)} unused baseline entr(y/ies)")
+        print(", ".join(bits), file=sys.stderr)
+
+    if result.errors:
+        return 2
+    return 1 if (findings or unused) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -15,8 +15,8 @@ magnitude windows:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.cluster.params import CacheLevel, ClusterParams, CoreParams, LinkParams
 from repro.cluster.topology import Relation, Topology

@@ -31,7 +31,7 @@ class ClassicBSPParams:
     p: int  # parallelism
     r: float  # computation rate [flop/s]
     g: float  # throughput cost [flop/word]
-    l: float  # synchronisation cost [flop]
+    l: float  # noqa: E741 -- synchronisation cost [flop]; the BSP literature name
 
     def __post_init__(self):
         require_int(self.p, "p")

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import os
 import random
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 from repro.explore.campaign import Campaign
 from repro.explore.golden import (

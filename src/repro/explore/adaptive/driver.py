@@ -20,17 +20,18 @@ The stats still split fresh evaluations from cache reads.
 from __future__ import annotations
 
 import os
-import time
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any
 
+from repro.explore.adaptive.samplers import Observation, make_sampler
 from repro.explore.campaign import Campaign, CampaignStats
 from repro.explore.resilience import RetryPolicy
 from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignSpace
-from repro.explore.adaptive.samplers import Observation, make_sampler
 from repro.obs import current as _telemetry
 from repro.obs import summarize_run
+from repro.obs import wallclock as _wallclock
 
 
 @dataclass(frozen=True)
@@ -218,7 +219,7 @@ class AdaptiveCampaign:
         exactly like an exhaustive :meth:`Campaign.run`.
         """
         tele = _telemetry()
-        started = time.time()
+        started = _wallclock()
         plan = self.plan
         sampler = plan.build_sampler(self.space)
         records: list[ResultRecord] = []
@@ -268,7 +269,7 @@ class AdaptiveCampaign:
                     "rounds": rounds,
                     "budget": plan.budget,
                 },
-                wall_seconds=time.time() - started,
+                wall_seconds=_wallclock() - started,
                 keys=[record.key for record in records],
                 started=started,
                 failures=failures,

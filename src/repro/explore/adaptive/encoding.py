@@ -22,7 +22,7 @@ determinism the samplers guarantee.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

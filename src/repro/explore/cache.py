@@ -14,7 +14,8 @@ import hashlib
 import json
 import os
 import warnings
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.explore.space import canonical_json
 

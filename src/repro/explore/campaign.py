@@ -20,10 +20,10 @@ import functools
 import json
 import multiprocessing
 import os
-import time
 import traceback
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any
 
 from repro.explore.cache import ResultCache, record_key
 from repro.explore.experiments import run_point
@@ -40,6 +40,7 @@ from repro.explore.results import ResultRecord, ResultSet
 from repro.explore.space import DesignPoint, DesignSpace, jsonable
 from repro.obs import current as _telemetry
 from repro.obs import summarize_run, telemetry_dir_for
+from repro.obs import wallclock as _wallclock
 
 
 def _jsonify_metrics(value: Any) -> dict:
@@ -672,7 +673,7 @@ class Campaign:
             "attempts": metrics.get("attempts"),
             "elapsed_s": metrics.get("elapsed_s"),
             "reason": metrics.get("reason"),
-            "time": round(time.time(), 3),
+            "time": round(_wallclock(), 3),
         }
         append_quarantine(
             self.quarantine_path(self.store_dir, self.name), record
@@ -687,7 +688,7 @@ class Campaign:
         digest so re-runs can report what changed.
         """
         tele = _telemetry()
-        started = time.time()
+        started = _wallclock()
         records, stats = self.serve(self.space.expand())
         outcome = CampaignOutcome(
             name=self.name,
@@ -707,7 +708,7 @@ class Campaign:
                     "failed": stats.failed,
                     "quarantined": stats.quarantined,
                 },
-                wall_seconds=time.time() - started,
+                wall_seconds=_wallclock() - started,
                 keys=[record.key for record in records],
                 started=started,
                 failures=self._last_failures,

@@ -388,7 +388,10 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
     cache = ResultCache(path)
     records = []
-    for key in cache.keys():
+    # Store append order *is* the canonical display order (one JSONL
+    # file read sequentially — deterministic per store, and the run
+    # order is what a human wants to see).
+    for key in cache.keys():  # repro: allow[DET004]
         entry = cache.get(key)
         records.append(ResultRecord(
             key=key,
@@ -423,7 +426,10 @@ def _store_records(args: argparse.Namespace) -> tuple[str, ResultSet]:
             )
     cache = ResultCache(path)
     records = []
-    for key in cache.keys():
+    # Store append order *is* the canonical display order (one JSONL
+    # file read sequentially — deterministic per store, and the run
+    # order is what a human wants to see).
+    for key in cache.keys():  # repro: allow[DET004]
         entry = cache.get(key)
         records.append(ResultRecord(
             key=key,

@@ -18,8 +18,9 @@ Every adapter builds its platform from the named preset registry
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any
 
 from repro.barriers.patterns import (
     all_to_all_barrier,

@@ -45,10 +45,11 @@ import multiprocessing
 import os
 import tempfile
 import time
+from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from fnmatch import fnmatchcase
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any
 
 from repro.obs import current as _telemetry
 
@@ -482,10 +483,21 @@ def read_quarantine(path: str | os.PathLike) -> list[dict]:
 
 # --------------------------------------------------------- resilient drivers
 
-#: Consecutive worker-death rebuilds tolerated before the driver gives
-#: up on the pool: the first death rebuilds, a second death with *no*
-#: completed task in between degrades (or raises).
+#: Floor on consecutive worker-death rebuilds tolerated before the
+#: driver gives up on the pool.  The per-point driver scales this with
+#: the remaining workload (:func:`_barren_limit`): a worker death
+#: consumes no attempt by design, so a *converging* fault plan — every
+#: point's firing budget below ``max_attempts``, the documented
+#: contract — can legitimately kill the pool up to
+#: ``incomplete * (max_attempts - 1)`` times in a row before any task
+#: completes.  Only past that bound is the pool provably broken rather
+#: than unlucky.
 MAX_BARREN_REBUILDS = 1
+
+
+def _barren_limit(incomplete: int, policy: "RetryPolicy") -> int:
+    """Consecutive no-progress pool deaths tolerated before degrading."""
+    return max(MAX_BARREN_REBUILDS, incomplete * max(policy.max_attempts - 1, 0))
 
 #: Floor for pool wait timeouts so the dispatch loop never busy-spins.
 _MIN_WAIT_S = 0.005
@@ -713,7 +725,8 @@ def pool_map_resilient(
                 inflight.clear()
                 kill_pool(executor)
                 barren_rebuilds += 1
-                if barren_rebuilds > MAX_BARREN_REBUILDS:
+                incomplete = sum(1 for r in results if r is None)
+                if barren_rebuilds > _barren_limit(incomplete, policy):
                     _count("resilience.degraded")
                     degraded = True
                     break

@@ -10,8 +10,9 @@ barrier patterns per platform", "group the weak-scaling series by preset",
 from __future__ import annotations
 
 import json
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 
 @dataclass(frozen=True)

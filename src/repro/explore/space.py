@@ -14,9 +14,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any
 
 
 def canonical_json(value: Any) -> str:

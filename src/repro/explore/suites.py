@@ -20,8 +20,9 @@ name, :func:`run_suite`, assert its claims.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any
 
 from repro.explore.campaign import CampaignOutcome, run_campaign
 from repro.explore.golden import ARTIFACT_FORMAT_VERSION, Tolerance

@@ -14,8 +14,8 @@ execution time of a named kernel on a given processor (§3.3).  A
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 

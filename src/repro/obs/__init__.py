@@ -87,6 +87,7 @@ from repro.obs.telemetry import (
     disable,
     enable,
     is_enabled,
+    wallclock,
 )
 
 __all__ = [
@@ -137,6 +138,7 @@ __all__ = [
     "top_spans",
     "validate_chrome_trace",
     "validate_path",
+    "wallclock",
     "worker_utilization",
     "write_chrome_trace",
     "write_metrics_snapshot",

@@ -26,9 +26,10 @@ store's sink.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Iterable, Mapping
+from typing import Any
 
 import numpy as np
 

@@ -22,7 +22,8 @@ Two lanes families exist:
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 #: Synthetic Chrome pid for the simulated-time lane; real pids are OS
 #: pids, far below this.

@@ -20,7 +20,8 @@ merged in sorted filename order.
 from __future__ import annotations
 
 import threading
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 #: Default histogram bucket edges, in seconds: geometric decades from a
 #: microsecond to 100 s.  Fixed (not adaptive) so merges across processes

@@ -19,8 +19,9 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 

@@ -37,7 +37,8 @@ import json
 import os
 import threading
 import time
-from typing import Any, Iterator, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -403,3 +404,16 @@ def current() -> Telemetry | None:
 
 def is_enabled() -> bool:
     return current() is not None
+
+
+def wallclock() -> float:
+    """Epoch seconds — the sanctioned wall-clock read for non-obs code.
+
+    The determinism contracts (DET003, ``docs/analysis.md``) reserve
+    direct host-clock reads for :mod:`repro.obs`, :mod:`repro.bench`
+    and the resilience layer; everything else — campaign wall-time
+    stats, run timestamps — routes through this accessor so host time
+    stays greppable, single-sourced, and fakeable in tests.  It must
+    never feed a simulated quantity.
+    """
+    return time.time()

@@ -8,7 +8,6 @@ from repro.adapt import (
     flat_defaults,
     greedy_adapt,
     hierarchical_barrier,
-    sss_cluster,
 )
 from repro.barriers import is_correct_barrier, measure_barrier, predict_barrier_cost
 from repro.bench import benchmark_comm

@@ -6,7 +6,6 @@ import pytest
 from repro.adapt import (
     OnlineBarrierAdapter,
     degrade_profile,
-    greedy_adapt,
     merge_profiles,
 )
 from repro.barriers import is_correct_barrier, predict_barrier_cost

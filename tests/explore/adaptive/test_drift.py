@@ -5,8 +5,8 @@ import pytest
 from repro.explore.adaptive import localize_drift
 from repro.explore.experiments import register_experiment
 from repro.explore.golden import update_golden
-from repro.explore.suites import SuiteSpec, register_suite, run_suite
 from repro.explore.space import DesignSpace
+from repro.explore.suites import SuiteSpec, register_suite, run_suite
 
 # A mutable switchboard the experiment reads, so tests inject regressions
 # without re-registering anything.

@@ -4,10 +4,10 @@ the suite integration."""
 import pytest
 
 from repro.explore.adaptive import AdaptivePlan, run_adaptive
-from repro.explore.campaign import Campaign, CampaignPointError, run_campaign
+from repro.explore.campaign import CampaignPointError, run_campaign
 from repro.explore.experiments import register_experiment
-from repro.explore.suites import SuiteSpec, run_suite
 from repro.explore.space import DesignSpace
+from repro.explore.suites import SuiteSpec, run_suite
 
 from tests.explore.adaptive.conftest import bowl_space
 

@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.explore.campaign import Campaign, run_campaign
+from repro.explore.experiments import register_experiment
 from repro.explore.resilience import (
     FaultPlan,
     FaultSpec,
@@ -29,7 +30,6 @@ from repro.explore.resilience import (
     deactivate,
     read_quarantine,
 )
-from repro.explore.experiments import register_experiment
 from repro.explore.space import DesignSpace
 
 

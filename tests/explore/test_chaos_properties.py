@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.explore.campaign import run_campaign
+from repro.explore.experiments import register_experiment
 from repro.explore.resilience import (
     FaultPlan,
     FaultSpec,
@@ -21,7 +22,6 @@ from repro.explore.resilience import (
     activate,
     deactivate,
 )
-from repro.explore.experiments import register_experiment
 from repro.explore.space import DesignSpace
 
 

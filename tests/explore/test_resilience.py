@@ -15,6 +15,7 @@ from repro.explore.campaign import (
     make_executor,
     run_campaign,
 )
+from repro.explore.experiments import register_experiment
 from repro.explore.resilience import (
     ENV_VAR,
     FaultInjected,
@@ -30,7 +31,6 @@ from repro.explore.resilience import (
     read_quarantine,
     serial_map_with_retry,
 )
-from repro.explore.experiments import register_experiment
 from repro.explore.space import DesignSpace
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import presets
-from repro.cluster.noise import QUIET, NoiseModel
+from repro.cluster.noise import NoiseModel
 from repro.cluster.topology import Relation
 from repro.kernels.numeric import DAXPY
 from repro.machine.simmachine import SimMachine

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stencil.grid import LocalBlock, decompose, process_grid
+from repro.stencil.grid import decompose, process_grid
 
 
 class TestProcessGrid:
